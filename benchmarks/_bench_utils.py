@@ -1,0 +1,63 @@
+"""Shared helpers for the experiment-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md §4 for the index).  Heavy simulations are
+cached at session scope so the figure benches that share workloads
+(Figs. 6-9 all use the GEMM runs) don't recompute them; each bench
+still times its own characteristic computation through
+``benchmark.pedantic``.
+
+Each bench also appends its paper-vs-measured table to
+``results/<experiment>.txt`` next to this file, which EXPERIMENTS.md
+indexes.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.apps import GemmRun, PiRun, run_gemm, run_pi
+from repro.apps.gemm import GEMM_VERSIONS
+from repro.core import SimConfig
+
+#: DIM used for the GEMM experiments (the paper uses 512; DESIGN.md §2
+#: explains the scaling and the matching DRAM geometry).
+GEMM_DIM = 64
+#: scaled counterparts of the paper's 1M/4M/10M-iteration π runs
+PI_SWEEP = (32_000, 128_000, 320_000)
+PI_PAPER_POINTS = {32_000: ("1M", 0.146), 128_000: ("4M", 0.556),
+                   320_000: ("10M", 1.507)}
+PI_START_INTERVAL = 12_000
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_GEMM_CACHE: dict[str, GemmRun] = {}
+_PI_CACHE: dict[int, PiRun] = {}
+
+
+def gemm_run_cached(version: str) -> GemmRun:
+    run = _GEMM_CACHE.get(version)
+    if run is None:
+        run = run_gemm(version, dim=GEMM_DIM)
+        _GEMM_CACHE[version] = run
+    return run
+
+
+def pi_run_cached(steps: int) -> PiRun:
+    run = _PI_CACHE.get(steps)
+    if run is None:
+        config = SimConfig(thread_start_interval=PI_START_INTERVAL)
+        run = run_pi(steps, sim_config=config)
+        _PI_CACHE[steps] = run
+    return run
+
+
+def report(experiment: str, lines: list[str]) -> None:
+    """Print the experiment table and persist it under results/."""
+
+    text = "\n".join(lines)
+    print(f"\n{text}")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as out:
+        out.write(text + "\n")

@@ -1,0 +1,15 @@
+"""Pytest fixtures for the benchmark suite (logic lives in _bench_utils)."""
+
+import pytest
+
+from _bench_utils import gemm_run_cached, pi_run_cached
+
+
+@pytest.fixture(scope="session")
+def gemm_runs():
+    return gemm_run_cached
+
+
+@pytest.fixture(scope="session")
+def pi_runs():
+    return pi_run_cached

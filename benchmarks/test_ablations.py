@@ -1,0 +1,129 @@
+"""Design-choice ablations called out in DESIGN.md §6.
+
+* sampling period: trace volume vs temporal resolution (§IV-B.2 calls
+  the period 'user-adjustable ... the higher the period, the more data');
+* trace-buffer width: the paper fixes 512 bit ('can be tuned');
+* profiling on/off: the runtime perturbation of trace collection;
+* thread count: Nymble-MT's C-slow effect on a recurrence-limited loop.
+"""
+
+import numpy as np
+
+from repro.apps import run_gemm, run_pi
+from repro.core import SimConfig
+from repro.hls import HLSOptions
+from repro.profiling import ProfilingConfig
+
+from _bench_utils import report
+
+
+def test_sampling_period_tradeoff(benchmark):
+    def sweep():
+        out = {}
+        for period in (512, 2048, 8192):
+            options = HLSOptions(profiling=ProfilingConfig(
+                sampling_period=period))
+            out[period] = run_gemm("vectorized", dim=32, options=options)
+        return out
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["== ablation: sampling period (trace size vs resolution) ==",
+             f"{'period':>8s} {'flushes':>8s} {'trace B':>9s} {'cycles':>9s} "
+             f"{'windows':>8s}"]
+    for period, run in runs.items():
+        trace = run.result.trace
+        windows = next(iter(trace.events.values())).shape[0]
+        lines.append(f"{period:8d} {trace.flushes:8d} "
+                     f"{trace.trace_bits // 8:9d} {run.cycles:9d} "
+                     f"{windows:8d}")
+    report("ablation_sampling_period", lines)
+
+    sizes = [runs[p].result.trace.trace_bits for p in (512, 2048, 8192)]
+    assert sizes[0] > sizes[1] > sizes[2]  # finer sampling -> more data
+    cycles = [runs[p].cycles for p in (512, 2048, 8192)]
+    assert max(cycles) < min(cycles) * 1.10  # perturbation stays small
+
+
+def test_buffer_width_area_tradeoff(benchmark):
+    from repro.apps.gemm import GEMM_VERSIONS, gemm_defines
+    from repro.hls import compile_source
+
+    def sweep():
+        out = {}
+        for width in (128, 512, 2048):
+            options = HLSOptions(profiling=ProfilingConfig(buffer_width=width))
+            out[width] = compile_source(GEMM_VERSIONS["naive"],
+                                        defines=gemm_defines("naive"),
+                                        options=options)
+        return out
+
+    accs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["== ablation: trace-buffer width (paper default 512 bit) ==",
+             f"{'width':>6s} {'profiling regs':>15s}"]
+    for width, acc in accs.items():
+        lines.append(f"{width:6d} "
+                     f"{acc.area.breakdown.profiling_registers:15d}")
+    report("ablation_buffer_width", lines)
+    regs = [accs[w].area.breakdown.profiling_registers
+            for w in (128, 512, 2048)]
+    assert regs[0] < regs[1] < regs[2]
+
+
+def test_profiling_runtime_perturbation(benchmark):
+    def pair():
+        on = run_gemm("vectorized", dim=32)
+        off = run_gemm("vectorized", dim=32, options=HLSOptions(
+            profiling=ProfilingConfig.disabled()))
+        return on, off
+
+    on, off = benchmark.pedantic(pair, rounds=1, iterations=1)
+    slowdown = on.cycles / off.cycles
+    lines = ["== ablation: runtime cost of trace collection ==",
+             f"profiling on:  {on.cycles} cycles",
+             f"profiling off: {off.cycles} cycles",
+             f"slowdown: {slowdown:.4f}x (the flush traffic shares DRAM)"]
+    report("ablation_profiling_runtime", lines)
+    assert 1.0 <= slowdown < 1.10
+    assert np.allclose(on.C, off.C)
+
+
+def test_thread_count_hides_recurrence(benchmark):
+    """Nymble-MT interleaves threads in one pipeline: a recurrence-bound
+    loop (the π series, rec_ii=3) speeds up with more threads until the
+    issue rate saturates."""
+
+    def sweep():
+        config = SimConfig(thread_start_interval=10)
+        return {t: run_pi(38400, num_threads=t, sim_config=config)
+                for t in (1, 2, 4, 8)}
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = ["== ablation: thread count vs recurrence hiding ==",
+             f"{'threads':>8s} {'cycles':>9s} {'GFLOP/s':>8s}"]
+    for t, run in runs.items():
+        lines.append(f"{t:8d} {run.cycles:9d} {run.gflops:8.3f}")
+    report("ablation_thread_count", lines)
+    assert runs[2].cycles < runs[1].cycles
+    assert runs[4].cycles < runs[2].cycles
+    assert all(run.error < 1e-3 for run in runs.values())
+
+
+def test_preloader_extension(benchmark):
+    """Extension experiment: tile loads through the preloader DMA (Fig. 1)
+    instead of pipelined vector loads — fewer, larger DRAM bursts."""
+
+    def pair():
+        return (run_gemm("blocked", dim=32),
+                run_gemm("preloaded", dim=32))
+
+    blocked, preloaded = benchmark.pedantic(pair, rounds=1, iterations=1)
+    lines = ["== extension: preloader DMA vs pipelined vector loads ==",
+             f"{'version':12s} {'cycles':>8s} {'DRAM requests':>14s}",
+             f"{'blocked':12s} {blocked.cycles:8d} "
+             f"{blocked.result.dram_requests:14d}",
+             f"{'preloaded':12s} {preloaded.cycles:8d} "
+             f"{preloaded.result.dram_requests:14d}"]
+    report("ablation_preloader", lines)
+    assert preloaded.correct
+    assert preloaded.result.dram_requests < blocked.result.dram_requests
+    assert preloaded.cycles <= blocked.cycles * 1.1

@@ -1,0 +1,52 @@
+"""§V-C: the GEMM optimization journey's speedup chain.
+
+Paper (DIM=512, naive = 853,522,308 cycles):
+  no_critical      1.14x over naive
+  vectorized       1.93x over no_critical (~2.2x over naive)
+  blocked          5.28x over naive
+  double_buffered  19x   over naive
+
+At the scaled DIM the absolute factors differ (EXPERIMENTS.md discusses
+why), but the *shape* must hold: every version beats its predecessor.
+"""
+
+from repro.apps.gemm import GEMM_VERSIONS
+
+from _bench_utils import GEMM_DIM, gemm_run_cached, report
+
+PAPER = {"naive": 1.0, "no_critical": 1.14, "vectorized": 2.2,
+         "blocked": 5.28, "double_buffered": 19.0}
+
+
+def test_gemm_speedup_chain(benchmark):
+    def run_all():
+        return {name: gemm_run_cached(name) for name in GEMM_VERSIONS}
+
+    runs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    base = runs["naive"].cycles
+    lines = [f"== SecV-C: GEMM speedups at DIM={GEMM_DIM} "
+             f"(paper: DIM=512) ==",
+             f"{'version':18s} {'cycles':>10s} {'speedup':>8s} "
+             f"{'paper':>7s} {'correct':>8s}"]
+    speedups = {}
+    for name, run in runs.items():
+        speedups[name] = base / run.cycles
+        lines.append(f"{name:18s} {run.cycles:10d} {speedups[name]:7.2f}x "
+                     f"{PAPER[name]:6.2f}x {str(run.correct):>8s}")
+    lines.append(f"paper naive cycle count: 853,522,308 (DIM=512); "
+                 f"measured: {base:,} (DIM={GEMM_DIM})")
+    report("secVC_speedups", lines)
+
+    # every version computes the right answer
+    assert all(run.correct for run in runs.values())
+    # monotone improvement along the paper's optimization order
+    order = list(GEMM_VERSIONS)
+    for earlier, later in zip(order, order[1:]):
+        assert runs[later].cycles <= runs[earlier].cycles, \
+            f"{later} must not be slower than {earlier}"
+    # the relative steps match the paper's bands
+    assert 1.02 < speedups["no_critical"] < 1.5            # paper 1.14
+    assert 1.5 < speedups["vectorized"] / speedups["no_critical"] < 3.0
+    assert speedups["blocked"] > 4.0                        # paper 5.28
+    assert speedups["double_buffered"] >= speedups["blocked"]
+    assert speedups["double_buffered"] > 6.0                # paper 19

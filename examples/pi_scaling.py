@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The paper's π case study: thread-start overhead vs workload (§V-D).
+
+Sweeps the iteration count of the π series and shows how the software
+overhead of starting the hardware threads dominates small workloads —
+the Figs. 11-13 state views and their 0.146/0.556/1.507 GFLOP/s series
+(scaled sizes here; the shape is what reproduces).
+
+Run:  python examples/pi_scaling.py
+"""
+
+import math
+
+from repro.analysis import diagnose
+from repro.apps import run_pi
+from repro.core import SimConfig
+from repro.paraver import render_state_timeline, thread_activity_windows
+
+#: scaled counterparts of the paper's 1M / 4M / 10M iteration points
+SWEEP = (32_000, 128_000, 320_000)
+#: cycles between successive software thread starts (scaled)
+START_INTERVAL = 12_000
+
+
+def main() -> None:
+    config = SimConfig(thread_start_interval=START_INTERVAL)
+    print("=== pi series scaling (paper Figs. 11-13) ===")
+    print(f"thread start interval: {START_INTERVAL} cycles\n")
+    print(f"{'steps':>9s} {'pi error':>10s} {'cycles':>9s} {'GFLOP/s':>8s}")
+    runs = {}
+    for steps in SWEEP:
+        run = run_pi(steps, sim_config=config)
+        runs[steps] = run
+        print(f"{steps:9d} {run.error:10.2e} {run.cycles:9d} "
+              f"{run.gflops:8.3f}")
+
+    print("\npaper reference: 1M -> 0.146, 4M -> 0.556, 10M -> 1.507 GFLOP/s")
+    ratio = runs[SWEEP[-1]].gflops / runs[SWEEP[0]].gflops
+    print(f"measured rise across the sweep: {ratio:.1f}x "
+          f"(paper: {1.507 / 0.146:.1f}x)\n")
+
+    for steps in SWEEP:
+        run = runs[steps]
+        spans = thread_activity_windows(run.result.trace)
+        overlap = "yes" if spans[:-1, 1].min() > spans[-1, 0] else "no"
+        print(f"--- {steps} steps (threads all overlap: {overlap}) ---")
+        print(render_state_timeline(run.result.trace, width=72))
+        print()
+
+    print("--- automatic diagnosis at the smallest size ---")
+    print(diagnose(runs[SWEEP[0]].result))
+
+    # the paper extrapolates to 15e9 iterations (36.84 GFLOP/s): at large
+    # sizes the startup cost vanishes and the pipeline rate is the limit
+    big = run_pi(2_560_000, sim_config=config)
+    print(f"\nextrapolation point: {big.steps} steps -> "
+          f"{big.gflops:.3f} GFLOP/s (startup amortized)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""repro — reproduction of *Extending High-Level Synthesis with
+High-Performance Computing Performance Visualization* (CLUSTER 2020).
+
+The package implements the paper's whole stack in Python:
+
+* :mod:`repro.frontend` — mini-C + OpenMP 4.0 target-offloading frontend;
+* :mod:`repro.ir` — typed HLS intermediate representation;
+* :mod:`repro.hls` — Nymble-like HLS: transforms, static pipeline
+  scheduling with variable-latency operations and thread reordering,
+  memory dependence analysis, area/Fmax models;
+* :mod:`repro.sim` — cycle-level accelerator/board simulator (DDR4 +
+  Avalon + BRAM + hardware semaphore);
+* :mod:`repro.profiling` — the embedded profiling unit (states, events,
+  trace buffer) of §IV;
+* :mod:`repro.paraver` — Paraver trace writer/parser/analysis/rendering;
+* :mod:`repro.analysis` — automatic bottleneck classification;
+* :mod:`repro.apps` — the paper's case studies (5 GEMM versions, π).
+
+Quick start::
+
+    from repro.apps import run_gemm
+    from repro.paraver import write_trace, render_state_timeline
+
+    run = run_gemm("naive", dim=32)
+    print(run.cycles, run.correct)
+    write_trace(run.result.trace, "naive_gemm")      # .prv/.pcf/.row
+    print(render_state_timeline(run.result.trace))
+"""
+
+from .core import (
+    Accelerator, DramConfig, HLSCompiler, HLSOptions, Program,
+    ProgramResult, SimConfig, SimResult, Simulation, compile_source,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accelerator", "DramConfig", "HLSCompiler", "HLSOptions", "Program",
+    "ProgramResult", "SimConfig", "SimResult", "Simulation",
+    "compile_source", "simulate", "__version__",
+]

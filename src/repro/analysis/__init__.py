@@ -1,0 +1,5 @@
+"""Trace-driven bottleneck analysis (profile-guided reasoning)."""
+
+from .bottlenecks import Bottleneck, Diagnosis, diagnose
+
+__all__ = ["Bottleneck", "Diagnosis", "diagnose"]

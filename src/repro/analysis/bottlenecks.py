@@ -1,0 +1,124 @@
+"""Automatic bottleneck classification from profiling traces.
+
+The paper's case studies walk through the reasoning "high spinning →
+serialization", "low bandwidth + stalls → memory-bound", "phased
+bandwidth/compute → load/compute alternation" by eye.  This module
+encodes the same reasoning so a run can be classified programmatically —
+the paper's §VII future-work direction of feeding profiles back into
+the compiler starts exactly here.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..profiling.config import EventKind, ThreadState
+from ..profiling.recorder import RunTrace
+from ..paraver.analysis import (
+    load_balance, phase_overlap, thread_activity_windows, total_gflops,
+)
+from ..sim.executor import SimResult
+
+__all__ = ["Bottleneck", "Diagnosis", "diagnose"]
+
+
+class Bottleneck(enum.Enum):
+    SYNCHRONIZATION = "synchronization"   # spinning/critical dominate
+    MEMORY_LATENCY = "memory-latency"     # stalls high, bandwidth low
+    MEMORY_BANDWIDTH = "memory-bandwidth"  # stalls high, bandwidth near peak
+    LOAD_IMBALANCE = "load-imbalance"     # threads idle while others work
+    PHASED_EXECUTION = "phased-execution"  # alternating load/compute phases
+    COMPUTE_BOUND = "compute-bound"       # none of the above
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass
+class Diagnosis:
+    """Classification plus the evidence behind it."""
+
+    primary: Bottleneck
+    findings: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        lines = [f"primary bottleneck: {self.primary}"]
+        lines += [f"  - {finding}" for finding in self.findings]
+        return "\n".join(lines)
+
+
+def diagnose(result: SimResult, peak_bandwidth_gbs: Optional[float] = None,
+             sync_threshold: float = 0.10, stall_threshold: float = 0.20,
+             balance_threshold: float = 0.75,
+             overlap_low: float = 0.15) -> Diagnosis:
+    """Classify the dominant bottleneck of a simulated run."""
+
+    trace = result.trace
+    fractions = trace.state_fractions()
+    findings: list[str] = []
+    metrics: dict[str, float] = {}
+
+    sync = fractions[ThreadState.SPINNING] + fractions[ThreadState.CRITICAL]
+    metrics["sync_fraction"] = sync
+    metrics["spin_fraction"] = fractions[ThreadState.SPINNING]
+
+    total_thread_cycles = max(1, trace.end_cycle * trace.num_threads)
+    stall_fraction = sum(result.stalls) / total_thread_cycles
+    metrics["stall_fraction"] = stall_fraction
+
+    balance = load_balance(trace)
+    metrics["load_balance"] = balance
+
+    # Temporal balance: even equal-duration threads are imbalanced when
+    # staggered starts keep them from overlapping (the π case study's
+    # startup-overhead signature, Figs. 11-13).
+    spans = thread_activity_windows(trace)
+    union = spans[:, 1].max() - spans[:, 0].min()
+    common = spans[:, 1].min() - spans[:, 0].max()
+    temporal = common / union if union > 0 else 1.0
+    metrics["temporal_overlap"] = float(temporal)
+
+    bandwidth = result.bandwidth_gbs()
+    metrics["bandwidth_gbs"] = bandwidth
+    metrics["gflops"] = total_gflops(trace, result.clock_mhz)
+
+    phases = phase_overlap(trace, result.clock_mhz)
+    metrics["phase_overlap"] = phases.overlap_fraction
+
+    if sync > sync_threshold:
+        findings.append(
+            f"{100 * sync:.1f}% of thread time in critical sections or "
+            f"spinning on locks — the code serializes (Amdahl)")
+        return Diagnosis(Bottleneck.SYNCHRONIZATION, findings, metrics)
+
+    if balance < balance_threshold or temporal < balance_threshold - 0.25:
+        findings.append(
+            f"load balance {balance:.2f} / temporal overlap {temporal:.2f}: "
+            "threads idle while others work (e.g. staggered thread starts "
+            "on a small workload)")
+        return Diagnosis(Bottleneck.LOAD_IMBALANCE, findings, metrics)
+
+    if stall_fraction > stall_threshold:
+        if peak_bandwidth_gbs and bandwidth > 0.5 * peak_bandwidth_gbs:
+            findings.append(
+                f"stall fraction {100 * stall_fraction:.1f}% with bandwidth "
+                f"{bandwidth:.2f} GB/s near the platform peak — bandwidth bound")
+            return Diagnosis(Bottleneck.MEMORY_BANDWIDTH, findings, metrics)
+        findings.append(
+            f"stall fraction {100 * stall_fraction:.1f}% with bandwidth "
+            f"{bandwidth:.2f} GB/s well below peak — latency bound; consider "
+            "wider (vector) accesses or preloading into local memory")
+        return Diagnosis(Bottleneck.MEMORY_LATENCY, findings, metrics)
+
+    if phases.load_windows > 0 and phases.compute_windows > 0 \
+            and phases.overlap_fraction < overlap_low:
+        findings.append(
+            "distinct load and compute phases with almost no overlap — "
+            "double buffering would overlap prefetch with compute")
+        return Diagnosis(Bottleneck.PHASED_EXECUTION, findings, metrics)
+
+    findings.append("no dominant stall/sync/imbalance signal: compute bound")
+    return Diagnosis(Bottleneck.COMPUTE_BOUND, findings, metrics)

@@ -1,0 +1,134 @@
+"""Convenience runners for the case-study applications.
+
+These wrap the full flow (frontend -> HLS -> simulation -> trace) with
+the right macro sets and reference checks, so examples, tests and
+benchmarks all exercise exactly the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.program import Program, ProgramResult
+from ..hls.compiler import Accelerator, HLSOptions
+from ..sim.config import SimConfig
+from ..sim.executor import SimResult
+from .gemm import EXTRA_VERSIONS, GEMM_VERSIONS, gemm_defines, gemm_source
+from .pi import PI_SOURCE, pi_defines, pi_flops_per_iteration
+
+__all__ = ["GemmRun", "PiRun", "run_gemm", "run_pi"]
+
+
+@dataclass
+class GemmRun:
+    """Result of one GEMM version's simulation."""
+
+    version: str
+    dim: int
+    result: SimResult
+    C: np.ndarray
+    reference: np.ndarray
+    accelerator: Accelerator
+    A: np.ndarray = None
+    B: np.ndarray = None
+    num_threads: int = 8
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def correct(self) -> bool:
+        """Does C match its expected value?
+
+        The paper-exact ``naive`` version keeps, per element, the partial
+        sum of whichever thread wrote last (its critical section protects
+        a plain store, Fig. 3) — so each element must match *one* of the
+        per-thread k-slice partial sums.  Every other version computes
+        the full product.
+        """
+
+        if self.version == "naive":
+            return bool(np.all(
+                np.any(np.abs(self.C[None, :] - self.partials) <= 1e-3
+                       + 1e-3 * np.abs(self.partials), axis=0)))
+        return bool(np.allclose(self.C, self.reference, rtol=1e-3, atol=1e-3))
+
+    @property
+    def partials(self) -> np.ndarray:
+        """[threads, DIM*DIM] per-thread k-slice partial sums (naive check)."""
+
+        dim, threads = self.dim, self.num_threads
+        A2 = self.A.reshape(dim, dim)
+        B2 = self.B.reshape(dim, dim)
+        return np.stack([(A2[:, t::threads] @ B2[t::threads, :]).ravel()
+                         for t in range(threads)])
+
+
+def run_gemm(version: str, dim: int = 64, num_threads: int = 8,
+             seed: int = 42, options: Optional[HLSOptions] = None,
+             sim_config: Optional[SimConfig] = None,
+             vector_len: int = 4, block_size: int = 8) -> GemmRun:
+    """Compile and simulate one GEMM version on random matrices."""
+
+    if dim % block_size != 0:
+        raise ValueError(f"DIM={dim} must be a multiple of "
+                         f"BLOCK_SIZE={block_size}")
+    if dim % num_threads != 0:
+        raise ValueError(f"DIM={dim} must be a multiple of "
+                         f"num_threads={num_threads}")
+    rng = np.random.default_rng(seed)
+    A = rng.random(dim * dim, dtype=np.float32)
+    B = rng.random(dim * dim, dtype=np.float32)
+    C = np.zeros(dim * dim, dtype=np.float32)
+    reference = (A.reshape(dim, dim) @ B.reshape(dim, dim)).ravel()
+
+    defines = gemm_defines(version, num_threads=num_threads,
+                           vector_len=vector_len, block_size=block_size)
+    program = Program(gemm_source(version), defines=defines,
+                      options=options,
+                      sim_config=sim_config or SimConfig(thread_start_interval=50))
+    outcome: ProgramResult = program.run(A=A, B=B, C=C, DIM=dim)
+    return GemmRun(version, dim, outcome.sim, C, reference,
+                   program.accelerator, A=A, B=B, num_threads=num_threads)
+
+
+@dataclass
+class PiRun:
+    """Result of one π-series simulation."""
+
+    steps: int
+    value: float
+    result: SimResult
+    accelerator: Accelerator
+
+    @property
+    def cycles(self) -> int:
+        return self.result.cycles
+
+    @property
+    def gflops(self) -> float:
+        return self.result.gflops
+
+    @property
+    def error(self) -> float:
+        return abs(self.value - float(np.pi))
+
+
+def run_pi(steps: int, num_threads: int = 8, bs_compute: int = 8,
+           options: Optional[HLSOptions] = None,
+           sim_config: Optional[SimConfig] = None) -> PiRun:
+    """Compile and simulate the π series for ``steps`` iterations."""
+
+    if steps % (num_threads * bs_compute) != 0:
+        raise ValueError(f"steps={steps} must divide evenly over "
+                         f"{num_threads} threads x BS_compute={bs_compute}")
+    program = Program(PI_SOURCE, defines=pi_defines(bs_compute),
+                      const_env={"threads": num_threads},
+                      options=options, sim_config=sim_config)
+    outcome = program.run(steps=steps, threads=num_threads)
+    return PiRun(steps, float(outcome.value), outcome.sim,
+                 program.accelerator)

@@ -1,0 +1,247 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how a user of the paper's flow would drive it:
+
+* ``compile``  — run the HLS flow on a mini-C file and print the compile
+  report (loops/II, stages, area, profiling overhead);
+* ``run``      — compile and simulate with synthetic arguments, print
+  the run summary and bottleneck diagnosis;
+* ``trace``    — like ``run`` but also write the Paraver .prv/.pcf/.row
+  trace for visualization;
+* ``inspect``  — summarize an existing .prv trace (state histogram and
+  event totals);
+* ``demo``     — run one of the paper's case studies (gemm / pi).
+
+Synthetic arguments: scalar kernel parameters can be set with
+``--arg name=value``; pointer parameters get random buffers sized from
+their map clauses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from .analysis import diagnose
+from .core import Program, SimConfig
+from .frontend.pragmas import eval_int_expr
+from .hls.report import compile_report
+from .ir.types import PointerType
+from .paraver import (
+    parse_prv, render_series, render_state_timeline, write_trace,
+    bandwidth_series_gbs,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Nymble-like HLS + profiling + Paraver toolchain "
+                    "(CLUSTER 2020 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_source_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("source", help="mini-C source file")
+        p.add_argument("-D", "--define", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="object-like macro (repeatable)")
+        p.add_argument("--const", action="append", default=[],
+                       metavar="NAME=VALUE",
+                       help="compile-time value for synthesis clauses "
+                            "such as num_threads(expr)")
+
+    p_compile = sub.add_parser("compile", help="compile and report")
+    add_source_args(p_compile)
+    p_compile.add_argument("--no-profiling", action="store_true",
+                           help="strip the profiling unit")
+
+    for name, help_text in (("run", "compile and simulate"),
+                            ("trace", "simulate and write a Paraver trace")):
+        p = sub.add_parser(name, help=help_text)
+        add_source_args(p)
+        p.add_argument("--arg", action="append", default=[],
+                       metavar="NAME=VALUE", help="scalar kernel argument")
+        p.add_argument("--seed", type=int, default=0,
+                       help="seed for synthetic buffers")
+        p.add_argument("--start-interval", type=int, default=2000,
+                       help="cycles between thread starts")
+        if name == "trace":
+            p.add_argument("-o", "--output", default="trace",
+                           help="trace base name (writes .prv/.pcf/.row)")
+
+    p_inspect = sub.add_parser("inspect", help="summarize a .prv trace")
+    p_inspect.add_argument("trace", help="path to a .prv file")
+
+    p_demo = sub.add_parser("demo", help="run a paper case study")
+    p_demo.add_argument("study", choices=["gemm", "pi"])
+    p_demo.add_argument("--dim", type=int, default=64,
+                        help="matrix dimension (gemm)")
+    p_demo.add_argument("--steps", type=int, default=128000,
+                        help="series iterations (pi)")
+    return parser
+
+
+def _parse_kv(pairs: list[str], what: str) -> dict[str, object]:
+    out: dict[str, object] = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit(f"malformed {what} {pair!r} (expected NAME=VALUE)")
+        name, _, value = pair.partition("=")
+        try:
+            out[name] = int(value)
+        except ValueError:
+            try:
+                out[name] = float(value)
+            except ValueError:
+                out[name] = value
+    return out
+
+
+def _load_program(args: argparse.Namespace,
+                  profiling_off: bool = False) -> Program:
+    with open(args.source) as handle:
+        source = handle.read()
+    defines = _parse_kv(args.define, "--define")
+    const_env = {k: int(v) for k, v in _parse_kv(args.const, "--const").items()}
+    options = None
+    if profiling_off:
+        from .hls import HLSOptions
+        from .profiling import ProfilingConfig
+        options = HLSOptions(profiling=ProfilingConfig.disabled())
+    start = getattr(args, "start_interval", 2000)
+    return Program(source, defines=defines, const_env=const_env,
+                   options=options, filename=args.source,
+                   sim_config=SimConfig(thread_start_interval=start))
+
+
+def _synthesize_args(program: Program, scalars: dict[str, object],
+                     seed: int) -> dict[str, object]:
+    """Random buffers for pointer params; user values for scalars."""
+
+    rng = np.random.default_rng(seed)
+    call_args: dict[str, object] = {}
+    int_env: dict[str, int] = {}
+    for param in program.function.params:
+        if param.name in scalars:
+            call_args[param.name] = scalars[param.name]
+            try:
+                int_env[param.name] = int(scalars[param.name])  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                pass
+    kernel = program.accelerator.kernel
+    for kparam in kernel.params:
+        if not isinstance(kparam.type, PointerType) \
+                or kparam.attrs.get("scalar_cell"):
+            continue
+        size = kparam.map_size
+        if isinstance(size, str):
+            try:
+                size = eval_int_expr(size, int_env)
+            except Exception:
+                raise SystemExit(
+                    f"cannot size buffer {kparam.name!r} from map clause "
+                    f"[{size}]; pass the referenced scalars via --arg")
+        if size is None:
+            raise SystemExit(f"buffer {kparam.name!r} has no sized map clause")
+        elem = kparam.type.elem
+        dtype = np.dtype(getattr(elem, "np_dtype_name", "float32"))
+        if dtype.kind == "f":
+            call_args[kparam.name] = rng.random(int(size)).astype(dtype)
+        else:
+            call_args[kparam.name] = rng.integers(
+                0, 100, int(size)).astype(dtype)
+    missing = [p.name for p in program.function.params
+               if p.name not in call_args]
+    if missing:
+        raise SystemExit(f"missing scalar arguments: {missing} "
+                         "(pass them with --arg name=value)")
+    return call_args
+
+
+def _print_run_summary(result) -> None:
+    print(f"cycles     : {result.cycles}")
+    print(f"wall time  : {result.seconds * 1e6:.1f} us at "
+          f"{result.clock_mhz} MHz")
+    print(f"bandwidth  : {result.bandwidth_gbs():.3f} GB/s")
+    print(f"compute    : {result.gflops:.3f} GFLOP/s")
+    print(f"stalls     : {sum(result.stalls)} cycles across threads")
+    print()
+    print(render_state_timeline(result.trace, width=72))
+    bw = bandwidth_series_gbs(result.trace, result.clock_mhz)
+    print()
+    print(render_series(bw, width=72, height=4, label="bandwidth GB/s"))
+    print()
+    print(diagnose(result))
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "compile":
+        program = _load_program(args, profiling_off=args.no_profiling)
+        print(compile_report(program.accelerator), end="")
+        return 0
+
+    if args.command in ("run", "trace"):
+        program = _load_program(args)
+        scalars = _parse_kv(args.arg, "--arg")
+        call_args = _synthesize_args(program, scalars, args.seed)
+        outcome = program.run(**call_args)
+        if outcome.value is not None:
+            print(f"return value: {outcome.value}")
+        _print_run_summary(outcome.sim)
+        if args.command == "trace":
+            files = write_trace(outcome.sim.trace, args.output)
+            print(f"\nParaver trace written: {files.prv} / {files.pcf} / "
+                  f"{files.row}")
+        return 0
+
+    if args.command == "inspect":
+        parsed = parse_prv(args.trace)
+        print(f"trace      : {args.trace}")
+        print(f"duration   : {parsed.end_time} cycles")
+        print(f"threads    : {parsed.num_tasks}")
+        durations = parsed.state_durations()
+        total = sum(durations.values()) or 1
+        names = {0: "Idle", 1: "Running", 2: "Critical", 3: "Spinning"}
+        print("states     :")
+        for state, duration in sorted(durations.items()):
+            print(f"  {names.get(state, state):9} {duration:10d} cycles "
+                  f"({100 * duration / total:5.1f}%)")
+        by_type: dict[int, int] = {}
+        for event in parsed.events:
+            by_type[event.type] = by_type.get(event.type, 0) + event.value
+        if by_type:
+            print("event totals:")
+            for type_id, value in sorted(by_type.items()):
+                print(f"  {type_id}: {value}")
+        return 0
+
+    if args.command == "demo":
+        if args.study == "gemm":
+            from .apps import run_gemm
+            from .apps.gemm import GEMM_VERSIONS
+            base = None
+            for version in GEMM_VERSIONS:
+                run = run_gemm(version, dim=args.dim)
+                base = base or run.cycles
+                print(f"{version:18s} {run.cycles:10d} cycles  "
+                      f"{base / run.cycles:6.2f}x  correct={run.correct}")
+        else:
+            from .apps import run_pi
+            run = run_pi(args.steps)
+            print(f"pi({args.steps}) = {run.value:.7f} "
+                  f"(error {run.error:.2e}) in {run.cycles} cycles, "
+                  f"{run.gflops:.3f} GFLOP/s")
+        return 0
+
+    raise AssertionError(args.command)  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Public API of the repro package."""
+
+from ..hls.compiler import Accelerator, HLSCompiler, HLSOptions, compile_source
+from ..sim.config import DramConfig, SimConfig
+from ..sim.executor import SimResult, Simulation, simulate
+from .program import Program, ProgramResult
+
+__all__ = [
+    "Accelerator", "HLSCompiler", "HLSOptions", "compile_source",
+    "DramConfig", "SimConfig", "SimResult", "Simulation", "simulate",
+    "Program", "ProgramResult",
+]

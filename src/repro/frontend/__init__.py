@@ -1,0 +1,77 @@
+"""Mini-C OpenMP frontend: source text -> HLS IR kernels.
+
+High-level entry points:
+
+* :func:`parse_source` — tokenize + parse into an AST.
+* :func:`compile_to_kernel` — full pipeline (parse, analyze, lower) for
+  the function containing the ``omp target parallel`` region.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from ..ir.graph import Kernel
+from .ast_nodes import FunctionDef, TranslationUnit
+from .errors import FrontendError, LexError, ParseError, SemaError
+from .lexer import Token, TokenKind, tokenize
+from .lower import lower_to_kernel
+from .parser import parse
+from .pragmas import (
+    MapClause, OmpBarrier, OmpCritical, OmpTargetParallel, UnrollPragma,
+    parse_pragma,
+)
+from .sema import SemaResult, Symbol, SymbolKind, analyze_function
+
+__all__ = [
+    "parse_source", "compile_to_kernel", "find_kernel_function",
+    "tokenize", "Token", "TokenKind", "parse", "parse_pragma",
+    "analyze_function", "lower_to_kernel",
+    "FrontendError", "LexError", "ParseError", "SemaError",
+    "MapClause", "OmpBarrier", "OmpCritical", "OmpTargetParallel",
+    "UnrollPragma", "SemaResult", "Symbol", "SymbolKind",
+    "FunctionDef", "TranslationUnit", "Kernel",
+]
+
+
+def parse_source(source: str, filename: str = "<source>",
+                 defines: Optional[Mapping[str, Union[int, float, str]]] = None,
+                 ) -> TranslationUnit:
+    """Parse mini-C ``source`` into an AST (macros from ``defines`` win)."""
+
+    return parse(source, filename=filename, defines=defines)
+
+
+def find_kernel_function(unit: TranslationUnit) -> FunctionDef:
+    """Locate the (single) function containing an ``omp target parallel`` region."""
+
+    from .pragmas import OmpTargetParallel as _Target
+
+    candidates = []
+    for function in unit.functions:
+        for stmt in function.body.stmts:
+            if any(isinstance(p, _Target) for p in stmt.pragmas):
+                candidates.append(function)
+                break
+    if not candidates:
+        raise SemaError("no function contains '#pragma omp target parallel'",
+                        unit.location)
+    if len(candidates) > 1:
+        raise SemaError("multiple target regions found; the flow supports one "
+                        "target region per application (§III-A)", unit.location)
+    return candidates[0]
+
+
+def compile_to_kernel(source: str, filename: str = "<source>",
+                      defines: Optional[Mapping[str, Union[int, float, str]]] = None,
+                      const_env: Optional[Mapping[str, int]] = None) -> Kernel:
+    """Compile mini-C ``source`` down to a validated HLS IR kernel.
+
+    ``defines`` adds/overrides object-like macros; ``const_env`` gives
+    compile-time values for synthesis-time clauses (``num_threads``).
+    """
+
+    unit = parse_source(source, filename=filename, defines=defines)
+    function = find_kernel_function(unit)
+    sema = analyze_function(function)
+    return lower_to_kernel(sema, const_env=const_env)

@@ -1,0 +1,379 @@
+"""Recursive-descent parser for the mini-C dialect.
+
+Produces the AST of :mod:`repro.frontend.ast_nodes`.  Pragmas in the
+token stream are parsed structurally (:mod:`repro.frontend.pragmas`)
+and attached to the statement that follows them, mirroring how OpenMP
+binds pragmas to their associated construct.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .ast_nodes import (
+    Assign, Binary, Call, Cast, CompoundStmt, DeclStmt, Expr, ExprStmt,
+    FloatLiteral, ForStmt, FunctionDef, Identifier, IfStmt, Index,
+    IntLiteral, ParamDecl, ReturnStmt, Stmt, Ternary, TranslationUnit,
+    Unary,
+)
+from .errors import ParseError, SourceLocation
+from .lexer import Token, TokenKind, tokenize
+from .pragmas import parse_pragma
+
+__all__ = ["parse", "Parser"]
+
+_TYPE_KEYWORDS = frozenset({"void", "int", "float", "double", "unsigned", "long", "char"})
+_VECTOR_NAME = re.compile(r"^(float|int|double)(\d+)$")
+
+
+def parse(source: str, filename: str = "<source>", defines=None) -> TranslationUnit:
+    """Tokenize and parse ``source`` into a :class:`TranslationUnit`."""
+
+    tokens = tokenize(source, filename=filename, defines=defines)
+    return Parser(tokens).parse_translation_unit()
+
+
+def is_type_name(text: str) -> bool:
+    """Is ``text`` a scalar or vector type name of the dialect?"""
+
+    return text in _TYPE_KEYWORDS or bool(_VECTOR_NAME.match(text))
+
+
+class Parser:
+    """Hand-written recursive-descent parser (no backtracking beyond one token)."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        idx = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[idx]
+
+    @property
+    def loc(self) -> SourceLocation:
+        return self.current.location
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.current.is_punct(text) or self.current.is_keyword(text):
+            self.advance()
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        if not (self.current.is_punct(text) or self.current.is_keyword(text)):
+            raise ParseError(f"expected {text!r}, got {self.current.text!r}", self.loc)
+        return self.tokens[self.pos - 1] if self.advance() else self.current
+
+    def expect_ident(self) -> Token:
+        if self.current.kind is not TokenKind.IDENT:
+            raise ParseError(f"expected identifier, got {self.current.text!r}", self.loc)
+        return self.advance()
+
+    # ------------------------------------------------------------------
+    # top level
+    # ------------------------------------------------------------------
+    def parse_translation_unit(self) -> TranslationUnit:
+        location = self.loc
+        functions: list[FunctionDef] = []
+        while self.current.kind is not TokenKind.EOF:
+            if self.current.kind is TokenKind.PRAGMA:
+                # stray file-level pragma: ignore, as C compilers do
+                self.advance()
+                continue
+            functions.append(self.parse_function())
+        return TranslationUnit(location, functions)
+
+    def parse_function(self) -> FunctionDef:
+        location = self.loc
+        return_type = self._parse_type_name()
+        name = self.expect_ident().text
+        self.expect("(")
+        params: list[ParamDecl] = []
+        if not self.current.is_punct(")"):
+            while True:
+                params.append(self._parse_param())
+                if not self.accept(","):
+                    break
+        self.expect(")")
+        body = self.parse_compound()
+        return FunctionDef(location, return_type, name, params, body)
+
+    def _parse_type_name(self) -> str:
+        self.accept("const")
+        self.accept("static")
+        self.accept("inline")
+        token = self.current
+        if not (token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS) and \
+           not (token.kind is TokenKind.IDENT and is_type_name(token.text)):
+            raise ParseError(f"expected type name, got {token.text!r}", self.loc)
+        self.advance()
+        # "unsigned int", "long long" etc. collapse to the first keyword.
+        while self.current.kind is TokenKind.KEYWORD and self.current.text in _TYPE_KEYWORDS:
+            self.advance()
+        return token.text
+
+    def _parse_param(self) -> ParamDecl:
+        location = self.loc
+        type_name = self._parse_type_name()
+        pointer = False
+        while self.accept("*"):
+            pointer = True
+        self.accept("const")
+        name = self.expect_ident().text
+        return ParamDecl(location, type_name, pointer, name)
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def parse_compound(self) -> CompoundStmt:
+        location = self.loc
+        self.expect("{")
+        stmts: list[Stmt] = []
+        while not self.current.is_punct("}"):
+            if self.current.kind is TokenKind.EOF:
+                raise ParseError("unexpected end of input inside block", self.loc)
+            stmts.append(self.parse_statement())
+        self.expect("}")
+        return CompoundStmt(location, stmts)
+
+    def parse_statement(self) -> Stmt:
+        pragmas = []
+        while self.current.kind is TokenKind.PRAGMA:
+            token = self.advance()
+            parsed = parse_pragma(token.text, token.location)
+            if parsed is not None:
+                pragmas.append(parsed)
+        stmt = self._parse_statement_inner()
+        stmt.pragmas = pragmas + stmt.pragmas
+        return stmt
+
+    def _parse_statement_inner(self) -> Stmt:
+        location = self.loc
+        if self.current.is_punct("{"):
+            return self.parse_compound()
+        if self.current.is_keyword("for"):
+            return self._parse_for()
+        if self.current.is_keyword("if"):
+            return self._parse_if()
+        if self.current.is_keyword("return"):
+            self.advance()
+            value = None if self.current.is_punct(";") else self.parse_expr()
+            self.expect(";")
+            return ReturnStmt(location, value)
+        if self.current.is_keyword("while"):
+            raise ParseError("while loops are not supported by the HLS dialect "
+                             "(use a counted for loop)", location)
+        if self._at_declaration():
+            stmt = self._parse_declaration()
+            self.expect(";")
+            return stmt
+        if self.accept(";"):
+            return CompoundStmt(location, [])
+        expr = self.parse_expr()
+        self.expect(";")
+        return ExprStmt(location, expr)
+
+    def _at_declaration(self) -> bool:
+        token = self.current
+        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
+            return True
+        return (token.kind is TokenKind.IDENT and is_type_name(token.text)
+                and self.peek().kind in (TokenKind.IDENT,)
+                or (token.kind is TokenKind.IDENT and is_type_name(token.text)
+                    and self.peek().is_punct("*")))
+
+    def _parse_declaration(self) -> DeclStmt:
+        location = self.loc
+        type_name = self._parse_type_name()
+        pointer = False
+        while self.accept("*"):
+            pointer = True
+        name = self.expect_ident().text
+        dims: list[Expr] = []
+        while self.accept("["):
+            dims.append(self.parse_expr())
+            self.expect("]")
+        init: Optional[Expr] = None
+        if self.accept("="):
+            if self.current.is_punct("{"):
+                init = self._parse_brace_init()
+            else:
+                init = self.parse_assignment()
+        return DeclStmt(location, type_name, pointer, name, dims, init)
+
+    def _parse_brace_init(self) -> Expr:
+        """``{0.0f}``-style initializer: only the broadcast form is supported."""
+
+        location = self.loc
+        self.expect("{")
+        value = self.parse_assignment()
+        if self.accept(","):
+            raise ParseError("only single-element brace initializers are supported "
+                             "(value is broadcast)", location)
+        self.expect("}")
+        return value
+
+    def _parse_for(self) -> ForStmt:
+        location = self.loc
+        self.expect("for")
+        self.expect("(")
+        if self._at_declaration():
+            init: Stmt = self._parse_declaration()
+        elif self.current.is_punct(";"):
+            raise ParseError("for loop must bind an induction variable", location)
+        else:
+            init = ExprStmt(self.loc, self.parse_expr())
+        if isinstance(init, DeclStmt) and self.current.is_punct(","):
+            raise ParseError("multiple declarators in for-init are not supported; "
+                             "hoist extra variables out of the loop header", self.loc)
+        self.expect(";")
+        cond = self.parse_expr()
+        self.expect(";")
+        inc = self.parse_expr()
+        self.expect(")")
+        body = self.parse_statement()
+        return ForStmt(location, init, cond, inc, body)
+
+    def _parse_if(self) -> IfStmt:
+        location = self.loc
+        self.expect("if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_statement()
+        other = self.parse_statement() if self.accept("else") else None
+        return IfStmt(location, cond, then, other)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        return self.parse_assignment()
+
+    def parse_assignment(self) -> Expr:
+        location = self.loc
+        target = self._parse_ternary()
+        for punct, op in (("=", ""), ("+=", "+"), ("-=", "-"), ("*=", "*"),
+                          ("/=", "/"), ("%=", "%")):
+            if self.current.is_punct(punct):
+                self.advance()
+                value = self.parse_assignment()
+                return Assign(location, op, target, value)
+        return target
+
+    def _parse_ternary(self) -> Expr:
+        location = self.loc
+        cond = self._parse_binary(0)
+        if self.accept("?"):
+            then = self.parse_expr()
+            self.expect(":")
+            other = self._parse_ternary()
+            return Ternary(location, cond, then, other)
+        return cond
+
+    _PRECEDENCE: list[list[str]] = [
+        ["||"], ["&&"], ["|"], ["^"], ["&"],
+        ["==", "!="], ["<", "<=", ">", ">="],
+        ["<<", ">>"], ["+", "-"], ["*", "/", "%"],
+    ]
+
+    def _parse_binary(self, level: int) -> Expr:
+        if level >= len(self._PRECEDENCE):
+            return self._parse_unary()
+        location = self.loc
+        left = self._parse_binary(level + 1)
+        ops = self._PRECEDENCE[level]
+        while self.current.kind is TokenKind.PUNCT and self.current.text in ops:
+            op = self.advance().text
+            right = self._parse_binary(level + 1)
+            left = Binary(location, op, left, right)
+        return left
+
+    def _parse_unary(self) -> Expr:
+        location = self.loc
+        for op in ("-", "!", "~", "*", "&"):
+            if self.current.is_punct(op):
+                # distinguish binary usage handled by caller; here it's prefix
+                self.advance()
+                return Unary(location, op, self._parse_unary())
+        if self.current.is_punct("++") or self.current.is_punct("--"):
+            op = self.advance().text
+            return Unary(location, "pre" + op, self._parse_unary())
+        if self.current.is_punct("(") and self._looks_like_cast():
+            return self._parse_cast()
+        return self._parse_postfix()
+
+    def _looks_like_cast(self) -> bool:
+        token = self.peek(1)
+        if token.kind is TokenKind.KEYWORD and token.text in _TYPE_KEYWORDS:
+            return True
+        return token.kind is TokenKind.IDENT and is_type_name(token.text)
+
+    def _parse_cast(self) -> Expr:
+        location = self.loc
+        self.expect("(")
+        type_tokens = [self._parse_type_name()]
+        while self.accept("*"):
+            type_tokens.append("*")
+        self.expect(")")
+        operand = self._parse_unary()
+        return Cast(location, type_tokens, operand)
+
+    def _parse_postfix(self) -> Expr:
+        expr = self._parse_primary()
+        while True:
+            location = self.loc
+            if self.accept("["):
+                index = self.parse_expr()
+                self.expect("]")
+                expr = Index(location, expr, index)
+            elif self.current.is_punct("(") and isinstance(expr, Identifier):
+                self.advance()
+                args: list[Expr] = []
+                if not self.current.is_punct(")"):
+                    while True:
+                        args.append(self.parse_assignment())
+                        if not self.accept(","):
+                            break
+                self.expect(")")
+                expr = Call(location, expr.name, args)
+            elif self.current.is_punct("++") or self.current.is_punct("--"):
+                op = self.advance().text
+                expr = Unary(location, "post" + op, expr)
+            else:
+                return expr
+
+    def _parse_primary(self) -> Expr:
+        location = self.loc
+        token = self.current
+        if token.kind is TokenKind.INT_LIT:
+            self.advance()
+            assert isinstance(token.value, int)
+            return IntLiteral(location, token.value)
+        if token.kind is TokenKind.FLOAT_LIT:
+            self.advance()
+            assert isinstance(token.value, float)
+            return FloatLiteral(location, token.value)
+        if token.kind is TokenKind.IDENT:
+            self.advance()
+            return Identifier(location, token.text)
+        if self.accept("("):
+            expr = self.parse_expr()
+            self.expect(")")
+            return expr
+        raise ParseError(f"unexpected token {token.text!r}", location)

@@ -1,0 +1,282 @@
+"""Structured parsing of ``#pragma`` payloads.
+
+Supports the pragmas the paper's flow uses (§III-A, Figs. 3-5, 10):
+
+* ``#pragma omp target parallel map(to: A[0:N], ...) num_threads(T)``
+  — marks the OpenMP target region offloaded to the FPGA; map clauses
+  specify host<->device data movement.
+* ``#pragma omp critical`` — serialized section via the hardware
+  semaphore.
+* ``#pragma omp barrier`` — thread barrier.
+* ``#pragma unroll N`` — spatially replicate a loop body N times.
+
+Map-clause bounds and factors may be arbitrary constant integer
+expressions (macros are already expanded by the lexer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+from .errors import ParseError, SourceLocation
+from .lexer import Token, TokenKind, tokenize
+
+__all__ = [
+    "MapClause", "OmpTargetParallel", "OmpCritical", "OmpBarrier",
+    "UnrollPragma", "Pragma", "parse_pragma", "eval_int_expr",
+]
+
+
+def eval_int_expr(text: str, env: Optional[Mapping[str, int]] = None) -> int:
+    """Evaluate an integer expression string (``0``, ``DIM*DIM``...).
+
+    ``env`` supplies values for identifiers; unknown identifiers raise
+    :class:`~repro.frontend.errors.ParseError`.
+    """
+
+    tokens = tokenize(text)
+    cursor = _Cursor(tokens, SourceLocation(1, 1, "<expr>"))
+    value = _const_expr(cursor, env or {})
+    if not cursor.at_end():
+        raise ParseError(f"trailing junk in integer expression {text!r}",
+                         cursor.location)
+    return value
+
+
+@dataclass(frozen=True)
+class MapClause:
+    """One variable of an OpenMP ``map`` clause: ``kind: var[lower:length]``.
+
+    Bounds are stored as (macro-expanded) expression strings because, as
+    in OpenMP, they may reference runtime values such as other kernel
+    arguments (``C[0:DIM*DIM]``); :meth:`resolve` evaluates them against
+    the launch-time argument environment.
+    """
+
+    kind: str  # "to" | "from" | "tofrom"
+    var: str
+    lower: Optional[str] = None
+    length: Optional[str] = None  # None => scalar mapped by value
+
+    def resolve(self, env: Mapping[str, int]) -> tuple[int, int]:
+        """Evaluate (lower, length) with ``env`` providing identifier values."""
+
+        if self.length is None:
+            raise ValueError(f"map clause for {self.var!r} has no array section")
+        lower = eval_int_expr(self.lower or "0", env)
+        length = eval_int_expr(self.length, env)
+        if length <= 0:
+            raise ValueError(f"map section for {self.var!r} has non-positive "
+                             f"length {length}")
+        return lower, length
+
+
+@dataclass
+class OmpTargetParallel:
+    maps: list[MapClause] = field(default_factory=list)
+    #: expression string (resolved at HLS compile time: the hardware
+    #: thread count is a synthesis-time property)
+    num_threads: Optional[str] = None
+
+    def clause_for(self, var: str) -> Optional[MapClause]:
+        for clause in self.maps:
+            if clause.var == var:
+                return clause
+        return None
+
+
+@dataclass(frozen=True)
+class OmpCritical:
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class OmpBarrier:
+    pass
+
+
+@dataclass(frozen=True)
+class UnrollPragma:
+    factor: int
+
+
+Pragma = object  # union of the classes above; kept loose for isinstance use
+
+
+def parse_pragma(text: str, location: SourceLocation) -> Optional[object]:
+    """Parse a pragma payload; returns ``None`` for unrecognized pragmas.
+
+    Unknown pragmas are ignored (standard C behaviour) so kernels can
+    carry vendor pragmas without breaking the flow.
+    """
+
+    tokens = tokenize(text, filename=location.filename)
+    cursor = _Cursor(tokens, location)
+    if cursor.accept_ident("omp"):
+        if cursor.accept_ident("target"):
+            cursor.expect_ident("parallel")
+            return _parse_target_parallel(cursor)
+        if cursor.accept_ident("critical"):
+            name = ""
+            if cursor.accept_punct("("):
+                name = cursor.expect_kind(TokenKind.IDENT).text
+                cursor.expect_punct(")")
+            return OmpCritical(name)
+        if cursor.accept_ident("barrier"):
+            return OmpBarrier()
+        return None
+    if cursor.accept_ident("unroll"):
+        factor = _const_expr(cursor, {})
+        if factor < 1:
+            raise ParseError(f"unroll factor must be >= 1, got {factor}", location)
+        return UnrollPragma(factor)
+    return None
+
+
+class _Cursor:
+    def __init__(self, tokens: list[Token], location: SourceLocation):
+        self.tokens = tokens
+        self.pos = 0
+        self.location = location
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def at_end(self) -> bool:
+        return self.current.kind is TokenKind.EOF
+
+    def accept_ident(self, text: str) -> bool:
+        if self.current.kind is TokenKind.IDENT and self.current.text == text:
+            self.advance()
+            return True
+        return False
+
+    def accept_punct(self, text: str) -> bool:
+        if self.current.is_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_ident(self, text: str) -> None:
+        if not self.accept_ident(text):
+            raise ParseError(f"expected {text!r} in pragma, got {self.current.text!r}",
+                             self.location)
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise ParseError(f"expected {text!r} in pragma, got {self.current.text!r}",
+                             self.location)
+
+    def expect_kind(self, kind: TokenKind) -> Token:
+        if self.current.kind is not kind:
+            raise ParseError(f"expected {kind.value} in pragma, got "
+                             f"{self.current.text!r}", self.location)
+        return self.advance()
+
+
+def _parse_target_parallel(cursor: _Cursor) -> OmpTargetParallel:
+    result = OmpTargetParallel()
+    while not cursor.at_end():
+        if cursor.accept_ident("map"):
+            cursor.expect_punct("(")
+            kind = cursor.expect_kind(TokenKind.IDENT).text
+            if kind not in ("to", "from", "tofrom"):
+                raise ParseError(f"unsupported map kind {kind!r}", cursor.location)
+            cursor.expect_punct(":")
+            while True:
+                var = cursor.expect_kind(TokenKind.IDENT).text
+                lower: Optional[str] = None
+                length: Optional[str] = None
+                if cursor.accept_punct("["):
+                    lower = _capture_until(cursor, ":")
+                    length = _capture_until(cursor, "]")
+                result.maps.append(MapClause(kind, var, lower, length))
+                if not cursor.accept_punct(","):
+                    break
+            cursor.expect_punct(")")
+        elif cursor.accept_ident("num_threads"):
+            cursor.expect_punct("(")
+            result.num_threads = _capture_until(cursor, ")")
+        else:
+            raise ParseError(f"unsupported clause {cursor.current.text!r} "
+                             "on omp target parallel", cursor.location)
+    return result
+
+
+def _capture_until(cursor: _Cursor, closer: str) -> str:
+    """Capture raw tokens (paren-balanced) until ``closer``, consuming it."""
+
+    parts: list[str] = []
+    depth = 0
+    while True:
+        token = cursor.current
+        if token.kind is TokenKind.EOF:
+            raise ParseError(f"unterminated map section (expected {closer!r})",
+                             cursor.location)
+        if depth == 0 and token.is_punct(closer):
+            cursor.advance()
+            return " ".join(parts)
+        if token.is_punct("(") or token.is_punct("["):
+            depth += 1
+        elif token.is_punct(")") or token.is_punct("]"):
+            depth -= 1
+        parts.append(token.text)
+        cursor.advance()
+
+
+# ----------------------------------------------------------------------
+# integer expressions (macros already expanded; env resolves identifiers)
+# ----------------------------------------------------------------------
+def _const_expr(cursor: _Cursor, env: Mapping[str, int]) -> int:
+    return _const_add(cursor, env)
+
+
+def _const_add(cursor: _Cursor, env: Mapping[str, int]) -> int:
+    value = _const_mul(cursor, env)
+    while True:
+        if cursor.accept_punct("+"):
+            value += _const_mul(cursor, env)
+        elif cursor.accept_punct("-"):
+            value -= _const_mul(cursor, env)
+        else:
+            return value
+
+
+def _const_mul(cursor: _Cursor, env: Mapping[str, int]) -> int:
+    value = _const_atom(cursor, env)
+    while True:
+        if cursor.accept_punct("*"):
+            value *= _const_atom(cursor, env)
+        elif cursor.accept_punct("/"):
+            value //= _const_atom(cursor, env)
+        elif cursor.accept_punct("%"):
+            value %= _const_atom(cursor, env)
+        else:
+            return value
+
+
+def _const_atom(cursor: _Cursor, env: Mapping[str, int]) -> int:
+    if cursor.accept_punct("("):
+        value = _const_expr(cursor, env)
+        cursor.expect_punct(")")
+        return value
+    if cursor.accept_punct("-"):
+        return -_const_atom(cursor, env)
+    token = cursor.current
+    if token.kind is TokenKind.IDENT:
+        if token.text not in env:
+            raise ParseError(f"unknown identifier {token.text!r} in integer "
+                             "expression", cursor.location)
+        cursor.advance()
+        return int(env[token.text])
+    token = cursor.expect_kind(TokenKind.INT_LIT)
+    assert isinstance(token.value, int)
+    return token.value

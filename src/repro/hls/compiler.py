@@ -1,0 +1,101 @@
+"""The top of the HLS flow: source/IR -> scheduled, characterized accelerator.
+
+:class:`HLSCompiler` bundles the pass pipeline (unroll, simplify, DCE),
+the static scheduler, the dependence analysis and the area/timing model
+into a single entry point, and produces an :class:`Accelerator` object
+that the simulator (:mod:`repro.sim`) can execute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from ..frontend import compile_to_kernel
+from ..ir.graph import Kernel
+from ..ir.validate import validate_kernel
+from ..profiling.config import ProfilingConfig
+from .area import AreaReport, estimate_area
+from .schedule import KernelSchedule, ScheduleOptions, schedule_kernel
+from .transforms import run_pipeline
+
+__all__ = ["HLSOptions", "Accelerator", "HLSCompiler", "compile_source"]
+
+
+@dataclass(frozen=True)
+class HLSOptions:
+    """All knobs of the HLS flow."""
+
+    schedule: ScheduleOptions = field(default_factory=ScheduleOptions)
+    profiling: ProfilingConfig = field(default_factory=ProfilingConfig)
+    run_transforms: bool = True
+
+
+@dataclass
+class Accelerator:
+    """A compiled accelerator: schedule + resource reports.
+
+    ``area`` is the design as built (with the profiling unit if enabled);
+    ``baseline_area`` is the same accelerator with the profiling unit
+    stripped, so overheads (§V-B) can be reported as
+    ``area.overhead_vs(baseline_area)``.
+    """
+
+    kernel: Kernel
+    schedule: KernelSchedule
+    options: HLSOptions
+    area: AreaReport
+    baseline_area: AreaReport
+    transform_stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.kernel.name
+
+    @property
+    def num_threads(self) -> int:
+        return self.kernel.num_threads
+
+    def profiling_overhead(self) -> dict[str, float]:
+        """Registers/ALMs/Fmax overhead of the profiling infrastructure."""
+
+        return self.area.overhead_vs(self.baseline_area)
+
+
+class HLSCompiler:
+    """Compiles IR kernels (or mini-C sources) into accelerators."""
+
+    def __init__(self, options: Optional[HLSOptions] = None):
+        self.options = options or HLSOptions()
+
+    def compile(self, kernel: Kernel) -> Accelerator:
+        """Compile an IR kernel (mutates it: transforms run in place)."""
+
+        stats: dict[str, int] = {}
+        if self.options.run_transforms:
+            stats = run_pipeline(kernel)
+        validate_kernel(kernel)
+        schedule = schedule_kernel(kernel, self.options.schedule)
+        area = estimate_area(schedule, self.options.profiling)
+        baseline = estimate_area(schedule, ProfilingConfig.disabled())
+        return Accelerator(kernel, schedule, self.options, area, baseline, stats)
+
+    def compile_source(self, source: str,
+                       defines: Optional[Mapping[str, Union[int, float, str]]] = None,
+                       const_env: Optional[Mapping[str, int]] = None,
+                       filename: str = "<source>") -> Accelerator:
+        """Frontend + HLS in one call."""
+
+        kernel = compile_to_kernel(source, filename=filename, defines=defines,
+                                   const_env=const_env)
+        return self.compile(kernel)
+
+
+def compile_source(source: str,
+                   defines: Optional[Mapping[str, Union[int, float, str]]] = None,
+                   const_env: Optional[Mapping[str, int]] = None,
+                   options: Optional[HLSOptions] = None) -> Accelerator:
+    """Convenience wrapper: mini-C source -> accelerator."""
+
+    return HLSCompiler(options).compile_source(source, defines=defines,
+                                               const_env=const_env)

@@ -1,0 +1,57 @@
+"""Textual IR printer for debugging, test golden files and compile reports."""
+
+from __future__ import annotations
+
+from io import StringIO
+
+from .graph import Block, Kernel, Operation
+from .ops import Opcode
+
+__all__ = ["print_kernel", "print_block"]
+
+
+def print_kernel(kernel: Kernel) -> str:
+    """Render ``kernel`` as indented text."""
+
+    out = StringIO()
+    params = ", ".join(repr(p) for p in kernel.params)
+    out.write(f"kernel @{kernel.name}({params}) threads={kernel.num_threads} {{\n")
+    _write_block(out, kernel.body, indent=1)
+    out.write("}\n")
+    return out.getvalue()
+
+
+def print_block(block: Block) -> str:
+    out = StringIO()
+    _write_block(out, block, indent=0)
+    return out.getvalue()
+
+
+def _write_block(out: StringIO, block: Block, indent: int) -> None:
+    pad = "  " * indent
+    for op in block.ops:
+        out.write(pad + _format_op(op) + "\n")
+        for region in op.regions:
+            out.write(f"{pad}{{ // {region.label}\n")
+            _write_block(out, region, indent + 1)
+            out.write(pad + "}\n")
+
+
+def _format_op(op: Operation) -> str:
+    parts = []
+    if op.result is not None:
+        parts.append(f"%{op.result.name} = ")
+    parts.append(str(op.opcode))
+    if op.opcode is Opcode.CONST:
+        parts.append(f" {op.attrs['value']}")
+    if op.operands:
+        parts.append("(" + ", ".join(f"%{v.name}" for v in op.operands) + ")")
+    if op.defined:
+        parts.append(" defines " + ", ".join(f"%{v.name}" for v in op.defined))
+    interesting = {k: v for k, v in op.attrs.items()
+                   if k not in ("value", "var") and v not in (None, 1, True, "")}
+    if interesting:
+        parts.append(f" {interesting}")
+    if op.result is not None:
+        parts.append(f" : {op.result.type}")
+    return "".join(parts)

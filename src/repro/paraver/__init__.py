@@ -1,0 +1,30 @@
+"""Paraver toolchain: trace writing, parsing, analysis and ASCII rendering.
+
+The writer produces genuine Paraver ``.prv``/``.pcf``/``.row`` files that
+load in the actual tool; the analysis module computes programmatically
+what the paper's figures show visually.  See DESIGN.md §3.
+"""
+
+from .analysis import (
+    PhaseStats, bandwidth_series_gbs, gflops_series, load_balance,
+    phase_overlap, state_fractions, thread_activity_windows, total_gflops,
+)
+from .format import (
+    CommRecord, EVENT_TYPE_IDS, STATE_IDS, ParaverFiles, write_trace,
+)
+from .parser import (
+    ParaverParseError, ParsedComm, ParsedEvent, ParsedState, ParsedTrace,
+    parse_prv,
+)
+from .render import STATE_GLYPHS, render_series, render_state_timeline
+
+__all__ = [
+    "PhaseStats", "bandwidth_series_gbs", "gflops_series", "load_balance",
+    "phase_overlap", "state_fractions", "thread_activity_windows",
+    "total_gflops",
+    "CommRecord", "EVENT_TYPE_IDS", "STATE_IDS", "ParaverFiles",
+    "write_trace",
+    "ParaverParseError", "ParsedComm", "ParsedEvent", "ParsedState",
+    "ParsedTrace", "parse_prv",
+    "STATE_GLYPHS", "render_series", "render_state_timeline",
+]

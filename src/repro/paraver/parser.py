@@ -1,0 +1,133 @@
+"""Parser for Paraver ``.prv`` traces (the subset our writer emits).
+
+Reads state and event records back into a :class:`ParsedTrace`, used by
+the round-trip tests and by the analysis helpers when working from
+files rather than live :class:`~repro.profiling.recorder.RunTrace`
+objects.  Communication records (type 3) are recognized and skipped
+(the paper excludes them too, §IV-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["ParsedState", "ParsedEvent", "ParsedComm", "ParsedTrace",
+           "parse_prv"]
+
+
+@dataclass(frozen=True)
+class ParsedState:
+    cpu: int
+    task: int
+    begin: int
+    end: int
+    state: int
+
+
+@dataclass(frozen=True)
+class ParsedEvent:
+    cpu: int
+    task: int
+    time: int
+    type: int
+    value: int
+
+
+@dataclass(frozen=True)
+class ParsedComm:
+    src_task: int
+    dst_task: int
+    logical_send: int
+    physical_send: int
+    logical_recv: int
+    physical_recv: int
+    size: int
+    tag: int
+
+
+@dataclass
+class ParsedTrace:
+    end_time: int
+    num_tasks: int
+    states: list[ParsedState] = field(default_factory=list)
+    events: list[ParsedEvent] = field(default_factory=list)
+    comms: list["ParsedComm"] = field(default_factory=list)
+
+    def states_of(self, task: int) -> list[ParsedState]:
+        return [s for s in self.states if s.task == task]
+
+    def events_of_type(self, type_id: int) -> list[ParsedEvent]:
+        return [e for e in self.events if e.type == type_id]
+
+    def state_durations(self) -> dict[int, int]:
+        totals: dict[int, int] = {}
+        for record in self.states:
+            totals[record.state] = totals.get(record.state, 0) \
+                + (record.end - record.begin)
+        return totals
+
+
+class ParaverParseError(Exception):
+    """Malformed .prv content."""
+
+
+def parse_prv(path: str) -> ParsedTrace:
+    """Parse a ``.prv`` file written by :mod:`repro.paraver.format`."""
+
+    with open(path) as handle:
+        header = handle.readline().rstrip("\n")
+        if not header.startswith("#Paraver"):
+            raise ParaverParseError(f"{path}: missing #Paraver header")
+        end_time, num_tasks = _parse_header(header)
+        trace = ParsedTrace(end_time, num_tasks)
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line or line.startswith("#") or line.startswith("c:"):
+                continue
+            fields = line.split(":")
+            try:
+                kind = int(fields[0])
+                if kind == 1:
+                    trace.states.append(ParsedState(
+                        cpu=int(fields[1]), task=int(fields[3]),
+                        begin=int(fields[5]), end=int(fields[6]),
+                        state=int(fields[7])))
+                elif kind == 2:
+                    cpu, _appl, task, _thread = (int(fields[1]), int(fields[2]),
+                                                 int(fields[3]), int(fields[4]))
+                    time = int(fields[5])
+                    pairs = fields[6:]
+                    if len(pairs) % 2:
+                        raise ValueError("odd type:value list")
+                    for i in range(0, len(pairs), 2):
+                        trace.events.append(ParsedEvent(
+                            cpu=cpu, task=task, time=time,
+                            type=int(pairs[i]), value=int(pairs[i + 1])))
+                elif kind == 3:
+                    trace.comms.append(ParsedComm(
+                        src_task=int(fields[3]), dst_task=int(fields[9]),
+                        logical_send=int(fields[5]),
+                        physical_send=int(fields[6]),
+                        logical_recv=int(fields[11]),
+                        physical_recv=int(fields[12]),
+                        size=int(fields[13]), tag=int(fields[14])))
+                else:
+                    raise ValueError(f"unknown record type {kind}")
+            except (ValueError, IndexError) as exc:
+                raise ParaverParseError(f"{path}:{line_no}: {exc}") from exc
+        return trace
+
+
+def _parse_header(header: str) -> tuple[int, int]:
+    # "#Paraver (date):endtime:nodes(cpus):napps:ntasks(...)"
+    try:
+        after = header.split("):", 1)[1]
+        parts = after.split(":")
+        end_time = int(parts[0])
+        napps_idx = 2
+        ntasks = int(parts[3].split("(")[0])
+        _ = napps_idx
+        return end_time, ntasks
+    except (IndexError, ValueError) as exc:
+        raise ParaverParseError(f"malformed header: {header!r}") from exc

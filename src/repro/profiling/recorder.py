@@ -1,0 +1,201 @@
+"""Runtime side of the profiling unit: state & event collection.
+
+The :class:`ProfilingRecorder` is the simulation counterpart of the
+hardware profiling unit in Fig. 1: the executor calls into it when
+threads change state (Fig. 2), when pipelines stall, when compute
+stages retire work, and when memory traffic passes the Avalon
+interface.  Events are aggregated into sampling-period bins exactly as
+the hardware's periodically-flushed counters would produce them
+(§IV-B.2); states are recorded per change (§IV-B.1).
+
+The recorder also models the *cost* of tracing: it tracks how many
+bits of trace data have been produced so the executor's flush process
+can book the corresponding external-memory writes — the source of the
+(small) runtime perturbation the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from .config import EventKind, ProfilingConfig, ThreadState
+
+__all__ = ["StateInterval", "RunTrace", "ProfilingRecorder"]
+
+
+@dataclass(frozen=True)
+class StateInterval:
+    """A maximal interval during which a thread stayed in one state."""
+
+    thread: int
+    state: ThreadState
+    start: int
+    end: int
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class RunTrace:
+    """Everything the profiling unit captured during one run."""
+
+    num_threads: int
+    end_cycle: int
+    sampling_period: int
+    #: per-thread list of state intervals covering [0, end_cycle]
+    states: list[list[StateInterval]]
+    #: EventKind -> array[bins, threads] of per-window sums
+    events: dict[EventKind, np.ndarray]
+    #: bits of trace data produced (states + event flushes)
+    trace_bits: int = 0
+    #: number of buffer flushes to external memory
+    flushes: int = 0
+
+    def state_durations(self, thread: Optional[int] = None
+                        ) -> dict[ThreadState, int]:
+        """Total cycles per state, for one thread or all threads."""
+
+        totals = {state: 0 for state in ThreadState}
+        threads = range(self.num_threads) if thread is None else [thread]
+        for t in threads:
+            for interval in self.states[t]:
+                totals[interval.state] += interval.duration
+        return totals
+
+    def state_fractions(self) -> dict[ThreadState, float]:
+        """Fraction of total thread-time spent in each state."""
+
+        totals = self.state_durations()
+        denom = max(1, sum(totals.values()))
+        return {state: value / denom for state, value in totals.items()}
+
+    def event_series(self, kind: EventKind) -> np.ndarray:
+        """[bins, threads] array of per-window event sums."""
+
+        return self.events[kind]
+
+    def window_starts(self, kind: EventKind) -> np.ndarray:
+        """Start cycle of each sampling window of ``kind``'s series."""
+
+        bins = self.events[kind].shape[0]
+        return np.arange(bins, dtype=np.int64) * self.sampling_period
+
+
+class ProfilingRecorder:
+    """Collects states and events during a simulation run."""
+
+    def __init__(self, config: ProfilingConfig, num_threads: int):
+        self.config = config
+        self.num_threads = num_threads
+        self._state_log: list[list[tuple[int, ThreadState]]] = [
+            [(0, ThreadState.IDLE)] for _ in range(num_threads)]
+        self._bins: dict[EventKind, dict[int, np.ndarray]] = {
+            kind: {} for kind in config.events}
+        self._enabled_kinds = set(config.events)
+        self.pending_bits = 0  # trace bits not yet flushed
+        self.total_bits = 0
+        self.flushes = 0
+
+    # ------------------------------------------------------------------
+    # states
+    # ------------------------------------------------------------------
+    def set_state(self, cycle: int, thread: int, state: ThreadState) -> None:
+        log = self._state_log[thread]
+        if log[-1][1] is state:
+            return
+        if not self.config.record_states or not self.config.enabled:
+            log.append((cycle, state))
+            return
+        log.append((cycle, state))
+        bits = self.config.state_record_bits(self.num_threads)
+        self.pending_bits += bits
+        self.total_bits += bits
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def add(self, cycle: int, thread: int, kind: EventKind,
+            amount: float) -> None:
+        if kind not in self._enabled_kinds or amount == 0:
+            return
+        period = self.config.sampling_period
+        self._bin(kind, cycle // period)[thread] += amount
+
+    def add_range(self, start: int, end: int, thread: int, kind: EventKind,
+                  amount: float) -> None:
+        """Distribute ``amount`` uniformly over cycles [start, end)."""
+
+        if kind not in self._enabled_kinds or amount == 0:
+            return
+        period = self.config.sampling_period
+        if end <= start:
+            self._bin(kind, start // period)[thread] += amount
+            return
+        span = end - start
+        first_bin = start // period
+        last_bin = (end - 1) // period
+        if first_bin == last_bin:
+            self._bin(kind, first_bin)[thread] += amount
+            return
+        for b in range(first_bin, last_bin + 1):
+            lo = max(start, b * period)
+            hi = min(end, (b + 1) * period)
+            self._bin(kind, b)[thread] += amount * (hi - lo) / span
+
+    def _bin(self, kind: EventKind, index: int) -> np.ndarray:
+        bins = self._bins[kind]
+        arr = bins.get(index)
+        if arr is None:
+            arr = np.zeros(self.num_threads)
+            bins[index] = arr
+        return arr
+
+    # ------------------------------------------------------------------
+    # trace-buffer cost model
+    # ------------------------------------------------------------------
+    def sample_flush_bits(self) -> int:
+        """Bits one periodic event flush writes (counters for all threads)."""
+
+        if not self.config.enabled or not self.config.events:
+            return 0
+        bits = self.config.event_record_bits(self.num_threads)
+        self.total_bits += bits
+        return bits
+
+    def drain_pending_bits(self) -> int:
+        """Bits of state records accumulated since the last flush."""
+
+        bits = self.pending_bits
+        self.pending_bits = 0
+        return bits
+
+    # ------------------------------------------------------------------
+    def finalize(self, end_cycle: int) -> RunTrace:
+        states: list[list[StateInterval]] = []
+        for thread in range(self.num_threads):
+            log = self._state_log[thread]
+            intervals = []
+            for i, (cycle, state) in enumerate(log):
+                nxt = log[i + 1][0] if i + 1 < len(log) else end_cycle
+                if nxt > cycle:
+                    intervals.append(StateInterval(thread, state, cycle, nxt))
+            states.append(intervals)
+
+        period = self.config.sampling_period
+        n_bins = max(1, -(-max(1, end_cycle) // period))
+        events: dict[EventKind, np.ndarray] = {}
+        for kind, bins in self._bins.items():
+            arr = np.zeros((n_bins, self.num_threads))
+            for index, values in bins.items():
+                if index < n_bins:
+                    arr[index] += values
+                else:  # clamp stragglers into the final window
+                    arr[-1] += values
+            events[kind] = arr
+        return RunTrace(self.num_threads, end_cycle, period, states, events,
+                        trace_bits=self.total_bits, flushes=self.flushes)

@@ -1,0 +1,20 @@
+"""Cycle-level accelerator simulator: DES engine, board model and executor.
+
+See DESIGN.md §2 for why a simulator substitutes for the paper's
+Stratix 10 hardware, and §5 for the execution-model notes.
+"""
+
+from .config import DramConfig, SimConfig
+from .engine import Engine, Event, Process
+from .executor import SimResult, Simulation, simulate
+from .interp import CompiledSegment, ThreadMemView, compile_segment
+from .memory import Buffer, ExternalMemory, PortSet
+from .sync import Barrier, HardwareSemaphore
+
+__all__ = [
+    "DramConfig", "SimConfig", "Engine", "Event", "Process",
+    "SimResult", "Simulation", "simulate",
+    "CompiledSegment", "ThreadMemView", "compile_segment",
+    "Buffer", "ExternalMemory", "PortSet",
+    "Barrier", "HardwareSemaphore",
+]

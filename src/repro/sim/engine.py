@@ -1,0 +1,133 @@
+"""A small discrete-event simulation kernel.
+
+Processes are Python generators that yield *commands*:
+
+* an ``int``    — advance this process by that many cycles;
+* an ``Event``  — suspend until the event fires;
+* a ``Process`` — suspend until that process finishes.
+
+The engine keeps a single global clock in cycles.  Heavy inner loops
+(pipelined kernel loops) deliberately do *not* yield per iteration —
+they run chunked and yield once per chunk (see
+:mod:`repro.sim.executor`), keeping the event count per simulation low.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generator, Iterable, Optional, Union
+
+__all__ = ["Engine", "Event", "Process", "Command"]
+
+
+class Event:
+    """A one-shot level-triggered event."""
+
+    __slots__ = ("triggered", "waiters", "name")
+
+    def __init__(self, name: str = ""):
+        self.triggered = False
+        self.waiters: list[Process] = []
+        self.name = name
+
+    def set(self, engine: "Engine") -> None:
+        if self.triggered:
+            return
+        self.triggered = True
+        waiters, self.waiters = self.waiters, []
+        for process in waiters:
+            engine.schedule(engine.now, process)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.name or hex(id(self))}, {self.triggered})"
+
+
+Command = Union[int, Event, "Process"]
+
+
+class Process:
+    """A running generator with a completion event."""
+
+    __slots__ = ("generator", "done", "name")
+
+    def __init__(self, generator: Generator[Command, None, None], name: str = ""):
+        self.generator = generator
+        self.done = Event(f"done:{name}")
+        self.name = name
+
+
+class Engine:
+    """Discrete-event scheduler over a single cycle clock."""
+
+    def __init__(self):
+        self.now: int = 0
+        self._heap: list[tuple[int, int, Process]] = []
+        self._seq = itertools.count()
+        self._active = 0
+
+    # ------------------------------------------------------------------
+    def spawn(self, generator: Generator[Command, None, None],
+              name: str = "", at: Optional[int] = None) -> Process:
+        """Register a new process starting at time ``at`` (default: now)."""
+
+        process = Process(generator, name)
+        self._active += 1
+        self.schedule(self.now if at is None else at, process)
+        return process
+
+    def schedule(self, when: int, process: Process) -> None:
+        if when < self.now:
+            raise RuntimeError(
+                f"causality violation: scheduling {process.name!r} at {when} "
+                f"but the clock is already at {self.now}")
+        heapq.heappush(self._heap, (when, next(self._seq), process))
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None) -> int:
+        """Run until no events remain (or the ``until`` horizon); returns now."""
+
+        while self._heap:
+            when, _, process = heapq.heappop(self._heap)
+            if until is not None and when > until:
+                heapq.heappush(self._heap, (when, next(self._seq), process))
+                self.now = until
+                return self.now
+            self.now = when
+            self._step(process)
+        return self.now
+
+    def _step(self, process: Process) -> None:
+        try:
+            command = next(process.generator)
+        except StopIteration:
+            self._active -= 1
+            process.done.set(self)
+            return
+        if isinstance(command, int):
+            if command < 0:
+                raise RuntimeError(f"negative delay {command} from "
+                                   f"{process.name!r}")
+            self.schedule(self.now + command, process)
+        elif isinstance(command, Event):
+            if command.triggered:
+                self.schedule(self.now, process)
+            else:
+                command.waiters.append(process)
+        elif isinstance(command, Process):
+            done = command.done
+            if done.triggered:
+                self.schedule(self.now, process)
+            else:
+                done.waiters.append(process)
+        else:
+            raise TypeError(f"process {process.name!r} yielded "
+                            f"unsupported command {command!r}")
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def all_of(processes: Iterable[Process]):
+        """Helper generator: wait for every process in ``processes``."""
+
+        for process in processes:
+            yield process

@@ -1,0 +1,559 @@
+"""Cycle-level execution of a compiled accelerator.
+
+Executes a :class:`~repro.hls.compiler.Accelerator` on the board model:
+
+* every hardware thread is a discrete-event process walking the
+  kernel's :class:`~repro.hls.schedule.BodySchedule`;
+* items of a block run *dataflow-style*: an item starts once the items
+  it depends on have finished, so independent items (the double-buffered
+  GEMM's prefetch and compute nests) genuinely overlap;
+* pipelined leaf loops use a chunked fast path: iterations issue into
+  the loop's shared datapath every ``ii`` cycles (one datapath instance
+  shared by all threads, the Nymble-MT model), same-thread iterations
+  keep ``rec_ii`` spacing, and external-memory responses that arrive
+  after the scheduled minimum latency *stall* that thread's pipeline —
+  counted as stall events (§IV-B.2a);
+* critical sections run through the hardware semaphore with
+  Spinning/Critical state recording (Fig. 2);
+* the profiling unit's periodic counter flushes book real writes to the
+  DRAM model, perturbing execution the same way the hardware's tracing
+  does (§V-B measures exactly this).
+
+The launch mimics the paper's host runtime: thread contexts are started
+by software one after another (``thread_start_interval``), which is the
+effect the π case study visualizes (Figs. 11-13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional, Union
+
+import numpy as np
+
+from ..frontend.pragmas import eval_int_expr
+from ..hls.compiler import Accelerator
+from ..hls.schedule import (
+    BarrierNode, BodySchedule, CriticalNode, IfNode, Item, LoopNode, Segment,
+)
+from ..ir.graph import Kernel, Param
+from ..ir.ops import Opcode
+from ..ir.types import PointerType, ScalarType
+from ..profiling.config import EventKind, ProfilingConfig, ThreadState
+from ..profiling.recorder import ProfilingRecorder, RunTrace
+from .config import SimConfig
+from .engine import Engine, Event
+from .interp import (
+    CompiledSegment, KernelFunctionalContext, ThreadMemView, compile_segment,
+)
+from .memory import ExternalMemory, PortSet
+from .sync import Barrier, HardwareSemaphore
+
+__all__ = ["SimResult", "Simulation", "simulate"]
+
+_PROFILING_BUFFER_ADDR = 0x7F00_0000
+
+
+@dataclass
+class SimResult:
+    """Outcome of one accelerator launch."""
+
+    cycles: int
+    clock_mhz: float
+    trace: RunTrace
+    buffers: dict[str, np.ndarray]
+    #: aggregate stall cycles per thread
+    stalls: list[int]
+    dram_bytes_read: int
+    dram_bytes_written: int
+    dram_requests: int
+    dram_row_misses: int
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.clock_mhz * 1e6)
+
+    def total_events(self, kind: EventKind) -> float:
+        series = self.trace.events.get(kind)
+        return float(series.sum()) if series is not None else 0.0
+
+    @property
+    def gflops(self) -> float:
+        """Achieved floating-point rate over the whole run (GFLOP/s)."""
+
+        seconds = self.seconds
+        return self.total_events(EventKind.FLOPS) / 1e9 / seconds if seconds else 0.0
+
+    def bandwidth_gbs(self) -> float:
+        """Average external-memory bandwidth of the application (GB/s)."""
+
+        seconds = self.seconds
+        moved = (self.total_events(EventKind.MEM_READ_BYTES)
+                 + self.total_events(EventKind.MEM_WRITE_BYTES))
+        return moved / 1e9 / seconds if seconds else 0.0
+
+
+class _LoopState:
+    """Shared-datapath issue accounting for one pipelined loop.
+
+    A leaky-bucket rate limiter rather than a high-water cursor: the
+    datapath accepts one iteration per ``ii`` cycles *on aggregate*, but
+    idle slots between one thread's recurrence-spaced issues remain
+    usable by other threads (the C-slow interleaving of §III-B).  The
+    epoch resets after long idle gaps so past idleness doesn't bank
+    burst credit.
+    """
+
+    __slots__ = ("first", "count")
+    _GAP = 4096
+
+    def __init__(self) -> None:
+        self.first = -1
+        self.count = 0
+
+    def book(self, at: int, cost: int) -> int:
+        if self.first < 0 or at > self.first + self.count * cost + self._GAP:
+            self.first = at
+            self.count = 1
+            return at
+        earliest = self.first + self.count * cost
+        issue = at if at > earliest else earliest
+        self.count += 1
+        return issue
+
+
+class Simulation:
+    """Executable simulation of one accelerator."""
+
+    def __init__(self, accelerator: Accelerator,
+                 config: Optional[SimConfig] = None):
+        self.acc = accelerator
+        self.config = config or SimConfig()
+        self.kernel: Kernel = accelerator.kernel
+        self._compiled: dict[int, CompiledSegment] = {}
+        self._external_uses = self._compute_external_uses()
+
+    # ------------------------------------------------------------------
+    def _compute_external_uses(self) -> set[int]:
+        """Value ids used outside the segment that defines them."""
+
+        defining: dict[int, int] = {}
+        for segment in self.acc.schedule.body.walk_segments():
+            for op in segment.ops:
+                if op.result is not None:
+                    defining[op.result.id] = id(segment)
+        external: set[int] = set()
+        for segment in self.acc.schedule.body.walk_segments():
+            for op in segment.ops:
+                for operand in op.operands:
+                    home = defining.get(operand.id)
+                    if home is not None and home != id(segment):
+                        external.add(operand.id)
+        # operands of structured ops (loop bounds, if conditions)
+        for op in self.kernel.walk():
+            if op.opcode in (Opcode.FOR, Opcode.IF):
+                for operand in op.operands:
+                    if operand.id in defining:
+                        external.add(operand.id)
+        return external
+
+    def _get_compiled(self, segment: Segment) -> CompiledSegment:
+        cs = self._compiled.get(id(segment))
+        if cs is None:
+            cs = compile_segment(segment, self._external_uses, self.kernel)
+            self._compiled[id(segment)] = cs
+        return cs
+
+    # ------------------------------------------------------------------
+    def run(self, args: Mapping[str, Union[np.ndarray, int, float]],
+            clock_mhz: Optional[float] = None) -> SimResult:
+        """Launch the kernel with ``args`` (one entry per kernel parameter).
+
+        Pointer parameters take numpy arrays (modified in place for
+        ``from``/``tofrom`` maps); scalars take numbers.  ``clock_mhz``
+        defaults to the compiled design's estimated Fmax.
+        """
+
+        engine = Engine()
+        memory = ExternalMemory(self.config.dram)
+        threads = self.kernel.num_threads
+        ports = PortSet(memory, self.config, threads)
+        semaphore = HardwareSemaphore(engine)
+        barrier = Barrier(engine, threads)
+        profiling = self.acc.options.profiling
+        recorder = ProfilingRecorder(profiling, threads)
+
+        buffers, scalar_env = self._bind_args(args, memory)
+
+        stalls = [0] * threads
+        done_events: list[Event] = []
+        contexts: list[KernelFunctionalContext] = []
+        runtime = _Runtime(self, engine, memory, ports, semaphore, barrier,
+                           recorder, buffers, stalls)
+
+        for tid in range(threads):
+            mem_view = ThreadMemView({name: buf.data
+                                      for name, buf in buffers.items()})
+            ctx = KernelFunctionalContext(tid, threads, mem_view)
+            ctx.values.update(scalar_env)
+            contexts.append(ctx)
+            start_at = (self.config.launch_overhead
+                        + tid * self.config.thread_start_interval)
+            process = engine.spawn(runtime.thread_main(tid, ctx),
+                                   name=f"thread{tid}", at=start_at)
+            done_events.append(process.done)
+
+        if profiling.enabled:
+            engine.spawn(runtime.flush_ticker(done_events),
+                         name="profiling-flush")
+
+        engine.run(until=self.config.max_cycles)
+        # the run ends when the last thread retires and its traffic drains —
+        # not when the profiling flush ticker happens to take its last tick
+        end = max(runtime.finish_time, memory.quiesce_time())
+        trace = recorder.finalize(end)
+        trace.flushes = recorder.flushes
+        return SimResult(
+            cycles=end,
+            clock_mhz=clock_mhz if clock_mhz is not None
+            else self.acc.area.fmax_mhz,
+            trace=trace,
+            buffers={name: buf.data for name, buf in buffers.items()},
+            stalls=stalls,
+            dram_bytes_read=memory.bytes_read,
+            dram_bytes_written=memory.bytes_written,
+            dram_requests=memory.requests,
+            dram_row_misses=memory.row_misses,
+        )
+
+    # ------------------------------------------------------------------
+    def _bind_args(self, args: Mapping[str, Any], memory: ExternalMemory):
+        buffers = {}
+        scalar_env: dict[int, Any] = {}
+        scalars: dict[str, int] = {}
+        for param in self.kernel.params:
+            if not isinstance(param.type, PointerType):
+                if param.name not in args:
+                    raise KeyError(f"missing scalar argument {param.name!r}")
+                value = args[param.name]
+                scalar_env[param.value.id] = (
+                    float(value) if param.type.is_float else int(value))
+                if isinstance(param.type, ScalarType) and param.type.is_integer:
+                    scalars[param.name] = int(value)
+        for param in self.kernel.params:
+            if isinstance(param.type, PointerType):
+                if param.name not in args:
+                    raise KeyError(f"missing buffer argument {param.name!r}")
+                array = args[param.name]
+                if not isinstance(array, np.ndarray):
+                    raise TypeError(f"buffer {param.name!r} must be a numpy "
+                                    f"array, got {type(array).__name__}")
+                expected = self._map_length(param, scalars)
+                if expected is not None and array.size < expected:
+                    raise ValueError(
+                        f"buffer {param.name!r} has {array.size} elements but "
+                        f"the map clause transfers {expected}")
+                buffers[param.name] = memory.allocate(param.name, array)
+        return buffers, scalar_env
+
+    def _map_length(self, param: Param, scalars: Mapping[str, int]):
+        size = param.map_size
+        if size is None:
+            return None
+        if isinstance(size, int):
+            return size
+        try:
+            return eval_int_expr(str(size), scalars)
+        except Exception:
+            return None
+
+
+class _Runtime:
+    """Execution state shared by all thread processes of one run."""
+
+    def __init__(self, sim: Simulation, engine: Engine,
+                 memory: ExternalMemory, ports: PortSet,
+                 semaphore: HardwareSemaphore, barrier: Barrier,
+                 recorder: ProfilingRecorder, buffers, stalls: list[int]):
+        self.sim = sim
+        self.engine = engine
+        self.memory = memory
+        self.ports = ports
+        self.semaphore = semaphore
+        self.barrier = barrier
+        self.recorder = recorder
+        self.buffers = buffers
+        self.stalls = stalls
+        self.loop_states: dict[int, _LoopState] = {}
+        #: local-memory conflict group id -> port cursor (BRAM port sharing)
+        self.group_states: dict[int, _LoopState] = {}
+        #: cycle at which the last hardware thread finished
+        self.finish_time = 0
+
+    # ------------------------------------------------------------------
+    def thread_main(self, tid: int, ctx: KernelFunctionalContext):
+        self.recorder.set_state(self.engine.now, tid, ThreadState.RUNNING)
+        yield from self.run_body(self.sim.acc.schedule.body, tid, ctx)
+        self.recorder.set_state(self.engine.now, tid, ThreadState.IDLE)
+        if self.engine.now > self.finish_time:
+            self.finish_time = self.engine.now
+
+    # ------------------------------------------------------------------
+    def run_body(self, body: BodySchedule, tid: int,
+                 ctx: KernelFunctionalContext):
+        items, deps = body.items, body.deps
+        if not items:
+            return
+        if self._is_sequential(deps):
+            for item in items:
+                yield from self.run_item(item, tid, ctx)
+            return
+        # dataflow execution: spawn one process per item
+        events = [Event(f"item{i}") for i in range(len(items))]
+
+        def item_proc(index: int):
+            for dep in deps[index]:
+                yield events[dep]
+            yield from self.run_item(items[index], tid, ctx)
+            events[index].set(self.engine)
+
+        for index in range(len(items)):
+            self.engine.spawn(item_proc(index), name=f"t{tid}-item{index}")
+        for event in events:
+            yield event
+
+    @staticmethod
+    def _is_sequential(deps: list[list[int]]) -> bool:
+        return all(index - 1 in dep_list
+                   for index, dep_list in enumerate(deps) if index > 0)
+
+    # ------------------------------------------------------------------
+    def run_item(self, item: Item, tid: int, ctx: KernelFunctionalContext):
+        if isinstance(item, Segment):
+            yield from self.run_segment(item, tid, ctx)
+        elif isinstance(item, LoopNode):
+            if item.pipelined:
+                yield from self.run_pipelined_loop(item, tid, ctx)
+            else:
+                yield from self.run_sequential_loop(item, tid, ctx)
+        elif isinstance(item, IfNode):
+            cond = ctx.values[item.op.operands[0].id]
+            yield 1
+            if cond:
+                yield from self.run_body(item.branches[0], tid, ctx)
+            elif len(item.branches) > 1:
+                yield from self.run_body(item.branches[1], tid, ctx)
+        elif isinstance(item, CriticalNode):
+            recorder, engine = self.recorder, self.engine
+            recorder.set_state(engine.now, tid, ThreadState.SPINNING)
+            yield from self.semaphore.acquire(item.lock, tid)
+            recorder.set_state(engine.now, tid, ThreadState.CRITICAL)
+            yield from self.run_body(item.body, tid, ctx)
+            self.semaphore.release(item.lock, tid)
+            recorder.set_state(engine.now, tid, ThreadState.RUNNING)
+        elif isinstance(item, BarrierNode):
+            yield from self.barrier.wait(tid)
+        else:  # pragma: no cover - exhaustive
+            raise AssertionError(item)
+
+    # ------------------------------------------------------------------
+    def _call_segment(self, compiled: CompiledSegment,
+                      ctx: KernelFunctionalContext):
+        values = ctx.values
+        args = [values[vid] for vid in compiled.inputs]
+        outs = compiled.fn(ctx, ctx.vars, ctx.mem, *args)
+        for vid, value in zip(compiled.outputs, outs):
+            values[vid] = value
+
+    def _issue_mem(self, segment: Segment, tid: int,
+                   mem_trace, issue: int) -> int:
+        """Book the segment's external accesses; returns extra stall cycles."""
+
+        extra = 0
+        buffers = self.buffers
+        for memop, (index, nbytes, is_write, name) in zip(segment.mem_ops,
+                                                          mem_trace):
+            buf = buffers[name]
+            addr = buf.base_addr + index * buf.elem_bytes
+            completion = self.ports.request(tid, issue + memop.start, addr,
+                                            nbytes, is_write)
+            if is_write:
+                # posted write: the pipeline proceeds once the request is on
+                # the bus; ordering is the interconnect's responsibility
+                continue
+            lateness = completion - (issue + memop.start + memop.sched_latency)
+            if lateness > extra:
+                extra = lateness
+        return extra
+
+    def run_segment(self, segment: Segment, tid: int,
+                    ctx: KernelFunctionalContext):
+        compiled = self.sim._get_compiled(segment)
+        mem = ctx.mem
+        mem.trace.clear()
+        self._call_segment(compiled, ctx)
+        now = self.engine.now
+        extra = self._issue_mem(segment, tid, mem.trace, now)
+        duration = segment.depth + extra
+        recorder = self.recorder
+        end = now + duration
+        if segment.flops:
+            recorder.add_range(now, end, tid, EventKind.FLOPS, segment.flops)
+        if segment.intops:
+            recorder.add_range(now, end, tid, EventKind.INTOPS, segment.intops)
+        rbytes = sum(n for _, n, w, _ in mem.trace if not w)
+        wbytes = sum(n for _, n, w, _ in mem.trace if w)
+        if rbytes:
+            recorder.add_range(now, end, tid, EventKind.MEM_READ_BYTES, rbytes)
+        if wbytes:
+            recorder.add_range(now, end, tid, EventKind.MEM_WRITE_BYTES, wbytes)
+        if extra:
+            recorder.add_range(now, end, tid, EventKind.STALLS, extra)
+            self.stalls[tid] += extra
+        yield duration
+
+    # ------------------------------------------------------------------
+    def run_sequential_loop(self, item: LoopNode, tid: int,
+                            ctx: KernelFunctionalContext):
+        op = item.op
+        lower = ctx.values[op.operands[0].id]
+        upper = ctx.values[op.operands[1].id]
+        step = ctx.values[op.operands[2].id]
+        iv_id = op.defined[0].id
+        for iv in range(lower, upper, step):
+            ctx.values[iv_id] = iv
+            yield 1  # loop-control bubble between iterations
+            yield from self.run_body(item.body, tid, ctx)
+
+    def run_pipelined_loop(self, item: LoopNode, tid: int,
+                           ctx: KernelFunctionalContext):
+        op = item.op
+        lower = ctx.values[op.operands[0].id]
+        upper = ctx.values[op.operands[1].id]
+        step = ctx.values[op.operands[2].id]
+        if upper <= lower:
+            return
+        trips = len(range(lower, upper, step))
+        if not item.body.items:
+            yield trips * item.ii + item.depth
+            return
+
+        segment = item.body.items[0]
+        assert isinstance(segment, Segment)
+        compiled = self.sim._get_compiled(segment)
+        state = self.loop_states.setdefault(id(item), _LoopState())
+        schedule = self.sim.acc.schedule
+        group_id = schedule.local_groups.get(id(segment))
+        group = None
+        group_cost = 0
+        if group_id is not None:
+            group = self.group_states.setdefault(group_id, _LoopState())
+            group_cost = max(1, schedule.local_costs.get(id(segment), 1))
+        recorder = self.recorder
+        mem = ctx.mem
+        iv_id = op.defined[0].id
+        chunk = max(1, self.sim.config.loop_chunk)
+        window = max(1, self.sim.config.pipeline_window)
+        ii, rec_ii, depth = item.ii, item.rec_ii, item.depth
+
+        cursor = self.engine.now  # this thread's next possible issue
+        last_retire = cursor
+        inflight: list[int] = []  # retire times of in-flight iterations
+        iv = lower
+        remaining = trips
+        while remaining > 0:
+            batch = min(chunk, remaining)
+            chunk_start = cursor
+            chunk_flops = 0
+            chunk_intops = 0
+            chunk_rbytes = 0
+            chunk_wbytes = 0
+            chunk_stall = 0
+            for _ in range(batch):
+                issue = state.book(cursor, ii)
+                if group is not None:
+                    issue = group.book(issue, group_cost)
+                if len(inflight) >= window:
+                    # stage buffers full: a late memory response now stalls
+                    # this thread's pipeline (backpressure)
+                    oldest = inflight.pop(0)
+                    if oldest - depth > issue:
+                        chunk_stall += oldest - depth - issue
+                        issue = oldest - depth
+                ctx.values[iv_id] = iv
+                mem.trace.clear()
+                self._call_segment(compiled, ctx)
+                extra = 0
+                if segment.mem_ops:
+                    extra = self._issue_mem(segment, tid, mem.trace, issue)
+                    if extra < 0:
+                        extra = 0
+                    for _, nbytes, is_write, _name in mem.trace:
+                        if is_write:
+                            chunk_wbytes += nbytes
+                        else:
+                            chunk_rbytes += nbytes
+                retire = issue + depth + extra
+                inflight.append(retire)
+                cursor = issue + rec_ii
+                # a late response suspends the consuming stage for `extra`
+                # cycles (§IV-B.2a) even when reordering hides it globally
+                chunk_stall += extra
+                chunk_flops += segment.flops
+                chunk_intops += segment.intops
+                if retire > last_retire:
+                    last_retire = retire
+                iv += step
+            remaining -= batch
+            if chunk_flops:
+                recorder.add_range(chunk_start, last_retire, tid,
+                                   EventKind.FLOPS, chunk_flops)
+            if chunk_intops:
+                recorder.add_range(chunk_start, last_retire, tid,
+                                   EventKind.INTOPS, chunk_intops)
+            if chunk_rbytes:
+                recorder.add_range(chunk_start, last_retire, tid,
+                                   EventKind.MEM_READ_BYTES, chunk_rbytes)
+            if chunk_wbytes:
+                recorder.add_range(chunk_start, last_retire, tid,
+                                   EventKind.MEM_WRITE_BYTES, chunk_wbytes)
+            if chunk_stall:
+                recorder.add_range(chunk_start, last_retire, tid,
+                                   EventKind.STALLS, chunk_stall)
+                self.stalls[tid] += chunk_stall
+            # re-synchronize with the other thread processes
+            advance = cursor - self.engine.now
+            if advance > 0:
+                yield advance
+                cursor = self.engine.now
+        tail = last_retire - self.engine.now
+        if tail > 0:
+            yield tail
+
+    # ------------------------------------------------------------------
+    def flush_ticker(self, done_events: list[Event]):
+        """Periodic event-counter flush to external memory (§IV-B)."""
+
+        period = self.recorder.config.sampling_period
+        while True:
+            yield period
+            if all(event.triggered for event in done_events):
+                # the accelerator is idle: the final flush happens during
+                # context read-back and does not extend the measured run
+                return
+            bits = (self.recorder.sample_flush_bits()
+                    + self.recorder.drain_pending_bits())
+            if bits:
+                nbytes = max(1, bits // 8)
+                self.memory.access_time(self.engine.now,
+                                        _PROFILING_BUFFER_ADDR, nbytes, True)
+                self.recorder.flushes += 1
+
+
+def simulate(accelerator: Accelerator,
+             args: Mapping[str, Union[np.ndarray, int, float]],
+             config: Optional[SimConfig] = None,
+             clock_mhz: Optional[float] = None) -> SimResult:
+    """One-call helper: build a :class:`Simulation` and run it."""
+
+    return Simulation(accelerator, config).run(args, clock_mhz=clock_mhz)

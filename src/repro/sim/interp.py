@@ -1,0 +1,340 @@
+"""Functional execution of scheduled segments via Python code generation.
+
+For every :class:`~repro.hls.schedule.Segment` we generate (once, then
+cache) a plain Python function that evaluates the segment's operations.
+This keeps the per-iteration interpretation cost low enough to simulate
+hundreds of thousands of pipeline iterations while remaining a faithful
+implementation of the IR semantics:
+
+* scalars are Python ``int``/``float`` (f32 values are rounded at the
+  external-memory boundary, where the hardware's precision manifests);
+* short vectors are tuples;
+* external loads/stores go through the thread's memory view, which both
+  performs the data movement on the mapped numpy buffers and appends a
+  timing record consumed by the executor;
+* local (BRAM) arrays are per-thread Python lists (thread-private, as
+  OpenMP scoping requires).
+
+The generated function's inputs are the values defined outside the
+segment (kernel parameters, loop induction variables, results of other
+items); its return value is a tuple of results other items consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from ..ir.graph import Kernel, Operation, Value
+from ..ir.ops import Opcode
+from ..ir.types import (
+    BOOL, MemorySpace, PointerType, ScalarType, Type, VectorType,
+)
+from ..hls.schedule import Segment
+
+__all__ = ["ThreadMemView", "CompiledSegment", "compile_segment",
+           "KernelFunctionalContext"]
+
+
+class ThreadMemView:
+    """Functional memory access for one hardware thread.
+
+    Wraps the global device buffers (numpy arrays mapped by parameter
+    name) and the thread's private local arrays.  External accesses
+    append ``(elem_index, nbytes, is_write, base_name)`` records to
+    :attr:`trace` so the executor can replay their timing.
+    """
+
+    __slots__ = ("buffers", "locals", "trace", "f32_names")
+
+    def __init__(self, buffers: dict[str, np.ndarray]):
+        self.buffers = buffers
+        self.locals: dict[int, list] = {}
+        self.trace: list[tuple[int, int, bool, str]] = []
+        self.f32_names = {name for name, arr in buffers.items()
+                          if arr.dtype == np.float32}
+
+    def alloc_local(self, key: int, size: int) -> None:
+        if key not in self.locals:
+            self.locals[key] = [0.0] * size
+
+    # -- external accesses ----------------------------------------------
+    def read(self, name: str, index: int, lanes: int, elem_bytes: int):
+        self.trace.append((index, lanes * elem_bytes, False, name))
+        arr = self.buffers[name]
+        if lanes == 1:
+            return arr[index].item()
+        return tuple(arr[index:index + lanes].tolist())
+
+    def write(self, name: str, index: int, value, lanes: int,
+              elem_bytes: int) -> None:
+        self.trace.append((index, lanes * elem_bytes, True, name))
+        arr = self.buffers[name]
+        if lanes == 1:
+            arr[index] = value
+        else:
+            arr[index:index + lanes] = value
+
+    def preload(self, dst_key: int, dst_off: int, name: str, src_off: int,
+                count: int, elem_bytes: int) -> None:
+        """Preloader DMA: bulk external -> local copy (one burst)."""
+
+        self.trace.append((src_off, count * elem_bytes, False, name))
+        arr = self.buffers[name]
+        self.locals[dst_key][dst_off:dst_off + count] = \
+            arr[src_off:src_off + count].tolist()
+
+    # -- local (BRAM) accesses --------------------------------------------
+    def lread(self, key: int, index: int, lanes: int):
+        buf = self.locals[key]
+        if lanes == 1:
+            return buf[index]
+        return tuple(buf[index:index + lanes])
+
+    def lwrite(self, key: int, index: int, value, lanes: int) -> None:
+        buf = self.locals[key]
+        if lanes == 1:
+            buf[index] = value
+        else:
+            buf[index:index + lanes] = value
+
+
+@dataclass
+class CompiledSegment:
+    """A segment compiled to a Python function."""
+
+    segment: Segment
+    fn: Callable
+    #: ids of values the function needs from the enclosing context
+    inputs: list[int]
+    #: ids of values the function returns (used by other items)
+    outputs: list[int]
+    source: str = ""
+
+
+def _vname(value: Value) -> str:
+    return f"v{value.id}"
+
+
+def _lanes(ty: Type) -> int:
+    return ty.lanes if isinstance(ty, VectorType) else 1
+
+
+def _elem_bytes(ty: Type) -> int:
+    elem = ty.elem if isinstance(ty, VectorType) else ty
+    return max(1, elem.bits() // 8)
+
+
+def compile_segment(segment: Segment, external_uses: set[int],
+                    kernel: Kernel) -> CompiledSegment:
+    """Generate the Python function for ``segment``.
+
+    ``external_uses`` is the set of value ids consumed anywhere outside
+    this segment (used to decide the return tuple).
+    """
+
+    defined: set[int] = set()
+    inputs: list[int] = []
+    seen_inputs: set[int] = set()
+    lines: list[str] = []
+
+    def operand(value: Value) -> str:
+        if value.id not in defined and value.id not in seen_inputs:
+            seen_inputs.add(value.id)
+            inputs.append(value.id)
+        return _vname(value)
+
+    for op in segment.ops:
+        line = _emit_op(op, operand)
+        if op.result is not None:
+            defined.add(op.result.id)
+        if line:
+            lines.append(line)
+
+    outputs = [vid for vid in sorted(defined) if vid in external_uses]
+
+    body = "\n    ".join(lines) if lines else "pass"
+    args = ", ".join(f"v{vid}" for vid in inputs)
+    ret = ", ".join(f"v{vid}" for vid in outputs)
+    source = (f"def _segment(ctx, vars, mem{', ' if args else ''}{args}):\n"
+              f"    {body}\n"
+              f"    return ({ret}{',' if len(outputs) == 1 else ''})\n")
+    namespace: dict[str, Any] = {}
+    exec(compile(source, f"<segment:{id(segment)}>", "exec"), namespace)
+    return CompiledSegment(segment, namespace["_segment"], inputs, outputs,
+                           source)
+
+
+def _binary(op: Operation, operand, symbol: str) -> str:
+    a, b = operand(op.operands[0]), operand(op.operands[1])
+    r = _vname(op.result)
+    ty = op.result.type
+    if isinstance(ty, VectorType):
+        return (f"{r} = tuple(_a {symbol} _b for _a, _b in zip({a}, {b}))")
+    return f"{r} = {a} {symbol} {b}"
+
+
+def _emit_op(op: Operation, operand) -> str:
+    code = op.opcode
+    r = _vname(op.result) if op.result is not None else None
+
+    if code is Opcode.CONST:
+        value = op.attrs["value"]
+        return f"{r} = {value!r}"
+    if code is Opcode.THREAD_ID:
+        return f"{r} = ctx.tid"
+    if code is Opcode.NUM_THREADS:
+        return f"{r} = ctx.nthreads"
+
+    if code in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+        return _binary(op, operand, {"add": "+", "sub": "-", "mul": "*"}[code.value])
+    if code is Opcode.DIV:
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        ty = op.result.type
+        if isinstance(ty, VectorType):
+            if ty.elem.is_float:
+                return f"{r} = tuple(_a / _b for _a, _b in zip({a}, {b}))"
+            return f"{r} = tuple(int(_a / _b) for _a, _b in zip({a}, {b}))"
+        if isinstance(ty, ScalarType) and ty.is_float:
+            return f"{r} = {a} / {b}"
+        return f"{r} = int({a} / {b})"
+    if code is Opcode.REM:
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        return f"{r} = {a} - int({a} / {b}) * {b}"
+    if code is Opcode.NEG:
+        a = operand(op.operands[0])
+        if isinstance(op.result.type, VectorType):
+            return f"{r} = tuple(-_a for _a in {a})"
+        return f"{r} = -{a}"
+    if code is Opcode.MIN:
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        return f"{r} = min({a}, {b})"
+    if code is Opcode.MAX:
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        return f"{r} = max({a}, {b})"
+    if code is Opcode.FMA:
+        a, b, c = (operand(v) for v in op.operands)
+        if isinstance(op.result.type, VectorType):
+            return (f"{r} = tuple(_a * _b + _c for _a, _b, _c in "
+                    f"zip({a}, {b}, {c}))")
+        return f"{r} = {a} * {b} + {c}"
+
+    if code in (Opcode.AND, Opcode.OR, Opcode.XOR):
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        ty = op.result.type
+        if ty == BOOL:
+            sym = {"and": "and", "or": "or", "xor": "!="}[code.value]
+            return f"{r} = bool({a} {sym} {b})"
+        sym = {"and": "&", "or": "|", "xor": "^"}[code.value]
+        return f"{r} = {a} {sym} {b}"
+    if code is Opcode.NOT:
+        a = operand(op.operands[0])
+        if op.result.type == BOOL:
+            return f"{r} = not {a}"
+        return f"{r} = ~{a}"
+    if code is Opcode.SHL:
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        return f"{r} = {a} << {b}"
+    if code is Opcode.SHR:
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        return f"{r} = {a} >> {b}"
+
+    if code in (Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT,
+                Opcode.GE):
+        sym = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+               "gt": ">", "ge": ">="}[code.value]
+        a, b = operand(op.operands[0]), operand(op.operands[1])
+        return f"{r} = {a} {sym} {b}"
+
+    if code is Opcode.CAST:
+        a = operand(op.operands[0])
+        src, dst = op.operands[0].type, op.result.type
+        if isinstance(dst, VectorType):
+            if dst.elem.is_float:
+                return f"{r} = tuple(float(_a) for _a in {a})"
+            return f"{r} = tuple(int(_a) for _a in {a})"
+        if isinstance(dst, ScalarType) and dst.is_float:
+            return f"{r} = float({a})"
+        if dst == BOOL:
+            return f"{r} = bool({a})"
+        return f"{r} = int({a})"
+    if code is Opcode.SELECT:
+        c, a, b = (operand(v) for v in op.operands)
+        return f"{r} = {a} if {c} else {b}"
+    if code is Opcode.BROADCAST:
+        a = operand(op.operands[0])
+        lanes = _lanes(op.result.type)
+        return f"{r} = ({a},) * {lanes}"
+    if code is Opcode.EXTRACT:
+        a, lane = operand(op.operands[0]), operand(op.operands[1])
+        return f"{r} = {a}[{lane}]"
+    if code is Opcode.INSERT:
+        a, lane, x = (operand(v) for v in op.operands)
+        return (f"{r} = {a}[:{lane}] + ({x},) + {a}[{lane} + 1:]")
+    if code is Opcode.REDUCE_ADD:
+        a = operand(op.operands[0])
+        return f"{r} = sum({a})"
+
+    if code is Opcode.DECL_VAR:
+        handle = op.attrs["var"]
+        init = "(0.0,) * %d" % _lanes(handle.type) \
+            if isinstance(handle.type, VectorType) else \
+            ("0.0" if handle.type.is_float else "0")
+        return f"vars[{handle.id}] = {init}"
+    if code is Opcode.READ_VAR:
+        return f"{r} = vars[{op.operands[0].id}]"
+    if code is Opcode.WRITE_VAR:
+        value = operand(op.operands[1])
+        return f"vars[{op.operands[0].id}] = {value}"
+
+    if code is Opcode.ALLOC_LOCAL:
+        array = op.attrs["array"]
+        size = array.size * _lanes(array.elem)
+        return f"mem.alloc_local({op.result.id}, {size})\n    " \
+               f"{r} = {op.result.id}"
+    if code is Opcode.LOAD:
+        base = op.operands[0]
+        idx = operand(op.operands[1])
+        lanes = _lanes(op.result.type)
+        assert isinstance(base.type, PointerType)
+        if base.type.space is MemorySpace.LOCAL:
+            operand(base)  # local array handle flows as its integer key
+            return f"{r} = mem.lread(v{base.id}, {idx}, {lanes})"
+        ebytes = _elem_bytes(base.type.elem)
+        return (f"{r} = mem.read({base.name!r}, {idx}, {lanes}, {ebytes})")
+    if code is Opcode.STORE:
+        base = op.operands[0]
+        idx = operand(op.operands[1])
+        value = operand(op.operands[2])
+        lanes = _lanes(op.operands[2].type)
+        assert isinstance(base.type, PointerType)
+        if base.type.space is MemorySpace.LOCAL:
+            operand(base)
+            return f"mem.lwrite(v{base.id}, {idx}, {value}, {lanes})"
+        ebytes = _elem_bytes(base.type.elem)
+        return (f"mem.write({base.name!r}, {idx}, {value}, {lanes}, {ebytes})")
+
+    if code is Opcode.PRELOAD:
+        dst, src = op.operands[0], op.operands[2]
+        operand(dst)
+        dst_off = operand(op.operands[1])
+        src_off = operand(op.operands[3])
+        count = operand(op.operands[4])
+        ebytes = _elem_bytes(src.type.elem)
+        return (f"mem.preload(v{dst.id}, {dst_off}, {src.name!r}, "
+                f"{src_off}, {count}, {ebytes})")
+
+    raise NotImplementedError(f"cannot generate code for {code}")
+
+
+@dataclass
+class KernelFunctionalContext:
+    """Per-thread runtime context shared with generated code."""
+
+    tid: int
+    nthreads: int
+    mem: ThreadMemView
+    vars: dict[int, Any] = field(default_factory=dict)
+    values: dict[int, Any] = field(default_factory=dict)

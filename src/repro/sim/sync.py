@@ -1,0 +1,84 @@
+"""Hardware semaphore (critical sections) and thread barrier (Fig. 1).
+
+The semaphore serves OpenMP ``critical`` constructs: one lock per
+critical-section name.  Acquisition is FIFO; a waiting thread is in the
+Paraver ``Spinning`` state, the holder in ``Critical`` (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .engine import Engine, Event
+
+__all__ = ["HardwareSemaphore", "Barrier"]
+
+
+class HardwareSemaphore:
+    """FIFO mutual-exclusion locks, addressed by lock id."""
+
+    def __init__(self, engine: Engine, grant_latency: int = 2):
+        self.engine = engine
+        #: round-trip cycles to the semaphore over the Avalon bus
+        self.grant_latency = grant_latency
+        self._holders: dict[int, Optional[int]] = {}
+        self._queues: dict[int, Deque[tuple[int, Event]]] = {}
+        #: contention statistics per lock
+        self.acquisitions: dict[int, int] = {}
+        self.contended: dict[int, int] = {}
+
+    def acquire(self, lock: int, thread: int):
+        """Process-style acquire; yields until the lock is granted."""
+
+        queue = self._queues.setdefault(lock, deque())
+        self.acquisitions[lock] = self.acquisitions.get(lock, 0) + 1
+        yield self.grant_latency
+        # the lock state must be re-read after the round-trip delay:
+        # another thread may have been granted the lock meanwhile
+        if self._holders.get(lock) is None and not queue:
+            self._holders[lock] = thread
+            return
+        self.contended[lock] = self.contended.get(lock, 0) + 1
+        granted = Event(f"lock{lock}->t{thread}")
+        queue.append((thread, granted))
+        yield granted
+
+    def release(self, lock: int, thread: int) -> None:
+        holder = self._holders.get(lock)
+        if holder != thread:
+            raise RuntimeError(f"thread {thread} released lock {lock} held by "
+                               f"{holder}")
+        queue = self._queues.setdefault(lock, deque())
+        if queue:
+            next_thread, granted = queue.popleft()
+            self._holders[lock] = next_thread
+            granted.set(self.engine)
+        else:
+            self._holders[lock] = None
+
+
+class Barrier:
+    """All-thread rendezvous (OpenMP ``barrier``)."""
+
+    def __init__(self, engine: Engine, parties: int, latency: int = 4):
+        self.engine = engine
+        self.parties = parties
+        self.latency = latency
+        self._count = 0
+        self._event = Event("barrier")
+        self.generations = 0
+
+    def wait(self, thread: int):
+        """Process-style wait; yields until all parties have arrived."""
+
+        yield self.latency
+        self._count += 1
+        event = self._event
+        if self._count >= self.parties:
+            self._count = 0
+            self._event = Event("barrier")
+            self.generations += 1
+            event.set(self.engine)
+            return
+        yield event

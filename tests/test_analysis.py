@@ -1,0 +1,64 @@
+"""Tests for the automatic bottleneck classifier."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import Bottleneck, diagnose
+from repro.apps import run_gemm, run_pi
+from repro.core import SimConfig
+
+
+class TestDiagnose:
+    def test_synchronization_detected(self):
+        """A lock-hammering kernel must classify as synchronization-bound."""
+
+        from repro.core import Program
+        source = """
+        void f(float* out, int n) {
+          #pragma omp target parallel map(tofrom:out[0:1]) num_threads(8)
+          {
+            for (int i = 0; i < n; ++i) {
+              #pragma omp critical
+              { out[0] += 1.0f; }
+            }
+          }
+        }
+        """
+        out = np.zeros(1, dtype=np.float32)
+        program = Program(source,
+                          sim_config=SimConfig(thread_start_interval=5))
+        outcome = program.run(out=out, n=32)
+        diag = diagnose(outcome.sim)
+        assert diag.primary is Bottleneck.SYNCHRONIZATION
+        assert diag.metrics["sync_fraction"] > 0.1
+
+    def test_memory_latency_detected(self):
+        run = run_gemm("no_critical", dim=32)
+        diag = diagnose(run.result)
+        assert diag.primary is Bottleneck.MEMORY_LATENCY
+        assert "latency bound" in diag.findings[0]
+
+    def test_load_imbalance_detected(self):
+        config = SimConfig(thread_start_interval=20000)
+        pi = run_pi(6400, sim_config=config)
+        diag = diagnose(pi.result)
+        assert diag.primary is Bottleneck.LOAD_IMBALANCE
+
+    def test_compute_bound_pi(self):
+        config = SimConfig(thread_start_interval=100)
+        pi = run_pi(64000, sim_config=config)
+        diag = diagnose(pi.result)
+        assert diag.primary is Bottleneck.COMPUTE_BOUND
+
+    def test_metrics_populated(self):
+        run = run_gemm("naive", dim=16, block_size=8)
+        diag = diagnose(run.result)
+        for key in ("sync_fraction", "stall_fraction", "load_balance",
+                    "bandwidth_gbs", "gflops"):
+            assert key in diag.metrics
+
+    def test_str_rendering(self):
+        run = run_gemm("naive", dim=16)
+        diag = diagnose(run.result)
+        text = str(diag)
+        assert "primary bottleneck" in text

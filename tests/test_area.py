@@ -1,0 +1,118 @@
+"""Unit tests for the area/Fmax model and profiling overhead (§V-B)."""
+
+import math
+
+import pytest
+
+from repro.apps.gemm import GEMM_VERSIONS, gemm_defines
+from repro.apps.pi import PI_SOURCE, pi_defines
+from repro.hls import HLSCompiler, HLSOptions, compile_source
+from repro.profiling.config import EventKind, ProfilingConfig
+
+
+def compile_gemm(version: str, profiling: ProfilingConfig = None):
+    options = HLSOptions(profiling=profiling or ProfilingConfig())
+    return compile_source(GEMM_VERSIONS[version],
+                          defines=gemm_defines(version), options=options)
+
+
+class TestBasicProperties:
+    def test_area_positive(self):
+        acc = compile_gemm("naive")
+        assert acc.area.registers > 0
+        assert acc.area.alms > 0
+        assert acc.area.fmax_mhz > 100
+
+    def test_profiling_adds_area(self):
+        acc = compile_gemm("naive")
+        assert acc.area.registers > acc.baseline_area.registers
+        assert acc.area.alms > acc.baseline_area.alms
+        assert acc.area.fmax_mhz < acc.baseline_area.fmax_mhz
+
+    def test_disabled_profiling_equals_baseline(self):
+        acc = compile_gemm("naive", ProfilingConfig.disabled())
+        assert acc.area.registers == acc.baseline_area.registers
+        assert acc.area.alms == acc.baseline_area.alms
+
+    def test_breakdown_sums(self):
+        acc = compile_gemm("vectorized")
+        b = acc.area.breakdown
+        assert b.registers == (b.operator_registers + b.pipeline_registers
+                               + b.context_registers + b.infra_registers
+                               + b.profiling_registers)
+        assert b.alms == b.operator_alms + b.infra_alms + b.profiling_alms
+
+    def test_bigger_kernel_bigger_area(self):
+        small = compile_gemm("naive")
+        big = compile_gemm("double_buffered")
+        assert big.area.registers > small.area.registers
+        assert big.area.alms > small.area.alms
+
+
+class TestPaperBands:
+    """§V-B: registers +<=5.4% (geo-mean 2.41%), ALMs +<=4% (geo-mean
+    3.42%), Fmax degradation <=8 MHz for the GEMM study; ~1.3%/1.5%/1 MHz
+    for π.  We accept the same order of magnitude."""
+
+    @pytest.fixture(scope="class")
+    def overheads(self):
+        return {name: compile_gemm(name).profiling_overhead()
+                for name in GEMM_VERSIONS}
+
+    def test_register_overhead_band(self, overheads):
+        values = [ov["registers_pct"] for ov in overheads.values()]
+        assert max(values) < 8.0
+        geomean = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert 1.0 < geomean < 5.0
+
+    def test_alm_overhead_band(self, overheads):
+        values = [ov["alms_pct"] for ov in overheads.values()]
+        assert max(values) < 6.0
+        geomean = math.exp(sum(math.log(v) for v in values) / len(values))
+        assert 1.0 < geomean < 5.0
+
+    def test_fmax_degradation_band(self, overheads):
+        values = [ov["fmax_delta_mhz"] for ov in overheads.values()]
+        assert all(0.0 < v <= 8.0 for v in values)
+
+    def test_larger_designs_have_smaller_relative_overhead(self, overheads):
+        assert overheads["double_buffered"]["registers_pct"] < \
+            overheads["naive"]["registers_pct"]
+
+    def test_pi_overhead_small(self):
+        options = HLSOptions()
+        acc = compile_source(PI_SOURCE, defines=pi_defines(16),
+                             const_env={"threads": 8}, options=options)
+        ov = acc.profiling_overhead()
+        assert ov["registers_pct"] < 3.0
+        assert ov["alms_pct"] < 3.0
+        assert ov["fmax_delta_mhz"] < 4.0
+
+
+class TestProfilingConfigKnobs:
+    def test_fewer_events_less_area(self):
+        full = compile_gemm("naive")
+        lean = compile_gemm("naive", ProfilingConfig(
+            events=(EventKind.STALLS,)))
+        assert lean.area.registers < full.area.registers
+
+    def test_state_recorder_cost(self):
+        no_states = compile_gemm("naive", ProfilingConfig(record_states=False))
+        with_states = compile_gemm("naive")
+        assert no_states.area.registers < with_states.area.registers
+
+    def test_buffer_width_scales_registers(self):
+        narrow = compile_gemm("naive", ProfilingConfig(buffer_width=128))
+        wide = compile_gemm("naive", ProfilingConfig(buffer_width=1024))
+        assert narrow.area.registers < wide.area.registers
+
+    def test_state_record_bits_formula(self):
+        config = ProfilingConfig()
+        # 2 bits per thread + 32-bit clock (§IV-B.1)
+        assert config.state_record_bits(8) == 2 * 8 + 32
+        assert config.state_record_bits(16) == 2 * 16 + 32
+
+    def test_event_record_bits_formula(self):
+        config = ProfilingConfig()
+        expected = 64 * len(config.events) * 8 + 32
+        assert config.event_record_bits(8) == expected

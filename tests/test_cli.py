@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+VADD = """
+void vadd(float* a, float* b, float* c, int n) {
+  #pragma omp target parallel map(to:a[0:n], b[0:n]) map(from:c[0:n]) \\
+      num_threads(2)
+  {
+    int t = omp_get_thread_num();
+    int nt = omp_get_num_threads();
+    for (int i = t; i < n; i += nt) {
+      c[i] = a[i] + b[i];
+    }
+  }
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "vadd.c"
+    path.write_text(VADD)
+    return str(path)
+
+
+class TestCompile:
+    def test_report_printed(self, source_file, capsys):
+        assert main(["compile", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "HLS compile report: vadd" in out
+        assert "pipeline stages" in out
+        assert "profiling unit" in out
+        assert "Fmax" in out
+
+    def test_no_profiling_flag(self, source_file, capsys):
+        assert main(["compile", source_file, "--no-profiling"]) == 0
+        out = capsys.readouterr().out
+        assert "profiling unit: disabled" in out
+
+    def test_defines_forwarded(self, tmp_path, capsys):
+        path = tmp_path / "k.c"
+        path.write_text("""
+void f(float* a, int n) {
+  #pragma omp target parallel map(tofrom:a[0:n]) num_threads(T)
+  { a[0] = 1.0f; }
+}
+""")
+        assert main(["compile", str(path), "-D", "T=6"]) == 0
+        assert "hardware threads : 6" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_summary(self, source_file, capsys):
+        assert main(["run", source_file, "--arg", "n=64"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+        assert "bandwidth" in out
+        assert "primary bottleneck" in out
+
+    def test_missing_scalar_errors(self, source_file):
+        with pytest.raises(SystemExit,
+                           match="missing scalar|cannot size buffer"):
+            main(["run", source_file])
+
+    def test_malformed_arg(self, source_file):
+        with pytest.raises(SystemExit, match="malformed"):
+            main(["run", source_file, "--arg", "n64"])
+
+
+class TestTraceAndInspect:
+    def test_trace_roundtrip(self, source_file, tmp_path, capsys):
+        base = str(tmp_path / "out")
+        assert main(["trace", source_file, "--arg", "n=32",
+                     "-o", base]) == 0
+        capsys.readouterr()
+        assert main(["inspect", base + ".prv"]) == 0
+        out = capsys.readouterr().out
+        assert "threads    : 2" in out
+        assert "Running" in out
+
+
+class TestDemo:
+    def test_pi_demo(self, capsys):
+        assert main(["demo", "pi", "--steps", "32000"]) == 0
+        out = capsys.readouterr().out
+        assert "pi(32000)" in out
+        assert "GFLOP/s" in out

@@ -1,0 +1,189 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.engine import Engine, Event, Process
+
+
+def test_delay_advances_clock():
+    engine = Engine()
+    trace = []
+
+    def proc():
+        yield 10
+        trace.append(engine.now)
+        yield 5
+        trace.append(engine.now)
+
+    engine.spawn(proc())
+    engine.run()
+    assert trace == [10, 15]
+
+
+def test_two_processes_interleave():
+    engine = Engine()
+    trace = []
+
+    def proc(name, delay):
+        yield delay
+        trace.append((name, engine.now))
+        yield delay
+        trace.append((name, engine.now))
+
+    engine.spawn(proc("a", 3))
+    engine.spawn(proc("b", 5))
+    engine.run()
+    assert trace == [("a", 3), ("b", 5), ("a", 6), ("b", 10)]
+
+
+def test_event_wait_and_set():
+    engine = Engine()
+    event = Event("go")
+    trace = []
+
+    def waiter():
+        yield event
+        trace.append(("woke", engine.now))
+
+    def setter():
+        yield 7
+        event.set(engine)
+
+    engine.spawn(waiter())
+    engine.spawn(setter())
+    engine.run()
+    assert trace == [("woke", 7)]
+
+
+def test_wait_on_already_triggered_event():
+    engine = Engine()
+    event = Event()
+    event.set(engine)
+
+    trace = []
+
+    def waiter():
+        yield event
+        trace.append(engine.now)
+
+    engine.spawn(waiter())
+    engine.run()
+    assert trace == [0]
+
+
+def test_join_process():
+    engine = Engine()
+    trace = []
+
+    def child():
+        yield 12
+
+    def parent():
+        proc = engine.spawn(child())
+        yield proc
+        trace.append(engine.now)
+
+    engine.spawn(parent())
+    engine.run()
+    assert trace == [12]
+
+
+def test_spawn_at_future_time():
+    engine = Engine()
+    trace = []
+
+    def proc():
+        trace.append(engine.now)
+        yield 0
+
+    engine.spawn(proc(), at=42)
+    engine.run()
+    assert trace == [42]
+
+
+def test_fifo_order_same_timestamp():
+    engine = Engine()
+    trace = []
+
+    def proc(name):
+        yield 5
+        trace.append(name)
+
+    for name in "abc":
+        engine.spawn(proc(name))
+    engine.run()
+    assert trace == ["a", "b", "c"]
+
+
+def test_run_until_horizon():
+    engine = Engine()
+
+    def proc():
+        yield 100
+
+    engine.spawn(proc())
+    now = engine.run(until=30)
+    assert now == 30
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+
+    def proc():
+        yield -1
+
+    engine.spawn(proc())
+    with pytest.raises(RuntimeError, match="negative delay"):
+        engine.run()
+
+
+def test_bad_command_rejected():
+    engine = Engine()
+
+    def proc():
+        yield "nope"
+
+    engine.spawn(proc())
+    with pytest.raises(TypeError, match="unsupported command"):
+        engine.run()
+
+
+def test_causality_violation_detected():
+    engine = Engine()
+
+    def proc():
+        yield 5
+
+    process = engine.spawn(proc())
+    engine.run()
+    with pytest.raises(RuntimeError, match="causality"):
+        engine.schedule(2, process)
+
+
+def test_done_event_fires_on_completion():
+    engine = Engine()
+
+    def proc():
+        yield 3
+
+    process = engine.spawn(proc())
+    assert not process.done.triggered
+    engine.run()
+    assert process.done.triggered
+
+
+def test_all_of_helper():
+    engine = Engine()
+    trace = []
+
+    def child(delay):
+        yield delay
+
+    def parent():
+        procs = [engine.spawn(child(d)) for d in (3, 9, 6)]
+        yield from Engine.all_of(procs)
+        trace.append(engine.now)
+
+    engine.spawn(parent())
+    engine.run()
+    assert trace == [9]

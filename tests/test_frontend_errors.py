@@ -1,0 +1,83 @@
+"""Diagnostic-quality battery: every rejected construct names its problem.
+
+A reproduction meant for adoption needs actionable error messages; this
+battery pins the diagnostics for the most likely user mistakes.
+"""
+
+import pytest
+
+from repro.frontend import compile_to_kernel
+from repro.frontend.errors import FrontendError, LexError, ParseError, SemaError
+
+
+def compile_kernel_body(body: str):
+    return compile_to_kernel(f"""
+    void f(float* a, int n) {{
+      #pragma omp target parallel map(tofrom:a[0:n]) num_threads(4)
+      {{
+{body}
+      }}
+    }}
+    """)
+
+
+REJECTED = [
+    # (body, exception fragment)
+    ("float x = y;", "undeclared identifier 'y'"),
+    ("int x = 0;\nint x = 1;", "redeclaration"),
+    ("while (n) { }", "while loops are not supported"),
+    ("for (int i = 0; i != n; ++i) { }", "loop condition"),
+    ("for (int i = n; i < 0; --i) { }", "loop increment"),
+    ("float buf[n];", "compile-time constants"),
+    ("float x = a;", "cannot convert"),
+    ("float x = foo(1);", "unknown function 'foo'"),
+    ("a = a;", "assign to an array or pointer"),
+    ("int x = a[1.0f];", "subscript"),
+    ("quux x = 0;", "expected"),  # not a type: parses as expression
+    ("float256 v = {0.0f};", "vector width"),
+    ("return;", "return inside"),
+    ("__preload(a, 0, a, 0, 4);", "local array"),
+]
+
+
+@pytest.mark.parametrize("body,fragment", REJECTED,
+                         ids=[b.split("\n")[0][:30] for b, _ in REJECTED])
+def test_rejected_with_message(body, fragment):
+    with pytest.raises(FrontendError) as excinfo:
+        compile_kernel_body(body)
+    assert fragment.split("'")[0].strip().lower() in str(excinfo.value).lower()
+
+
+def test_error_carries_location():
+    with pytest.raises(SemaError) as excinfo:
+        compile_kernel_body("float x = missing;")
+    assert excinfo.value.location is not None
+    assert excinfo.value.location.line > 1
+
+
+def test_lexer_error_location():
+    with pytest.raises(LexError) as excinfo:
+        compile_to_kernel("void f() { int x = `; }")
+    assert "unexpected character" in str(excinfo.value)
+
+
+def test_parse_error_names_token():
+    with pytest.raises(ParseError) as excinfo:
+        compile_to_kernel("void f( { }")
+    assert "expected" in str(excinfo.value)
+
+
+def test_missing_region_reported():
+    with pytest.raises(SemaError, match="target parallel"):
+        compile_to_kernel("void f(int n) { int x = n; }")
+
+
+def test_unmapped_pointer_names_parameter():
+    source = """
+    void f(float* data, int n) {
+      #pragma omp target parallel num_threads(2)
+      { float x = data[0]; }
+    }
+    """
+    with pytest.raises(SemaError, match="'data'"):
+        compile_to_kernel(source)

@@ -1,0 +1,63 @@
+"""Tests for the textual IR printer."""
+
+from repro.frontend import compile_to_kernel
+from repro.ir import print_block, print_kernel
+
+
+SOURCE = """
+void k(float* a, int n) {
+  #pragma omp target parallel map(tofrom:a[0:n]) num_threads(2)
+  {
+    float s = 0.0f;
+    for (int i = 0; i < n; ++i) {
+      if (i > 1) {
+        s += a[i];
+      }
+    }
+    #pragma omp critical
+    { a[0] = s; }
+  }
+}
+"""
+
+
+def test_kernel_header():
+    kernel = compile_to_kernel(SOURCE)
+    text = print_kernel(kernel)
+    assert text.startswith("kernel @k(")
+    assert "threads=2" in text
+    assert "map(tofrom:" in text
+
+
+def test_regions_indented():
+    kernel = compile_to_kernel(SOURCE)
+    text = print_kernel(kernel)
+    assert "{ // for.i" in text
+    assert "{ // if.then" in text
+    assert "{ // critical.0" in text
+
+
+def test_ops_show_types_and_names():
+    kernel = compile_to_kernel(SOURCE)
+    text = print_kernel(kernel)
+    assert ": f32" in text
+    assert "%i" in text
+    assert "defines %i" in text
+
+
+def test_constants_inline():
+    kernel = compile_to_kernel(SOURCE)
+    text = print_kernel(kernel)
+    assert "const 0" in text or "const 0.0" in text
+
+
+def test_print_block_standalone():
+    kernel = compile_to_kernel(SOURCE)
+    text = print_block(kernel.body)
+    assert "for(" in text
+
+
+def test_every_op_printed():
+    kernel = compile_to_kernel(SOURCE)
+    text = print_kernel(kernel)
+    assert text.count("\n") >= kernel.count_ops()

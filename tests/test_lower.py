@@ -1,0 +1,190 @@
+"""Unit tests for AST -> IR lowering."""
+
+import pytest
+
+from repro.frontend import compile_to_kernel
+from repro.frontend.errors import SemaError
+from repro.ir import MemorySpace, Opcode, PointerType, validate_kernel
+from repro.ir.types import VectorType
+
+
+def compile_body(body: str, params: str = "float* a, int n",
+                 clauses: str = "map(tofrom:a[0:n])", defines=None,
+                 const_env=None):
+    source = f"""
+    void f({params}) {{
+      #pragma omp target parallel {clauses} num_threads(4)
+      {{
+{body}
+      }}
+    }}
+    """
+    return compile_to_kernel(source, defines=defines, const_env=const_env)
+
+
+class TestParams:
+    def test_pointer_param_keeps_map(self):
+        kernel = compile_body("a[0] = 1.0f;")
+        param = kernel.param("a")
+        assert isinstance(param.type, PointerType)
+        assert param.map_kind == "tofrom"
+
+    def test_unmapped_pointer_rejected(self):
+        with pytest.raises(SemaError, match="map clause"):
+            compile_body("a[0] = 1.0f;", clauses="")
+
+    def test_pointer_needs_array_section(self):
+        with pytest.raises(SemaError, match="array section"):
+            compile_body("a[0] = 1.0f;", clauses="map(to:a)")
+
+    def test_scalar_by_value(self):
+        kernel = compile_body("int x = n;", clauses="map(tofrom:a[0:n])")
+        param = kernel.param("n")
+        assert not isinstance(param.type, PointerType)
+
+    def test_tofrom_scalar_becomes_cell(self):
+        source = """
+        float g(int n) {
+          float out = 0.0f;
+          #pragma omp target parallel map(tofrom: out) num_threads(2)
+          {
+            #pragma omp critical
+            { out += 1.0f; }
+          }
+          return out;
+        }
+        """
+        kernel = compile_to_kernel(source)
+        param = kernel.param("out")
+        assert isinstance(param.type, PointerType)
+        assert param.attrs.get("scalar_cell")
+
+    def test_num_threads_expression_needs_const_env(self):
+        source = """
+        void f(float* a, int n, int t) {
+          #pragma omp target parallel map(to:a[0:n]) num_threads(t)
+          { float x = a[0]; }
+        }
+        """
+        with pytest.raises(SemaError, match="const_env"):
+            compile_to_kernel(source)
+        kernel = compile_to_kernel(source, const_env={"t": 6})
+        assert kernel.num_threads == 6
+
+    def test_default_num_threads(self):
+        kernel = compile_body("int x = n;", clauses="map(to:a[0:n])")
+        assert kernel.num_threads == 4
+
+
+class TestStructures:
+    def test_critical_lock_sharing(self):
+        body = """
+        #pragma omp critical
+        { a[0] = 1.0f; }
+        #pragma omp critical
+        { a[1] = 2.0f; }
+        #pragma omp critical(other)
+        { a[2] = 3.0f; }
+        """
+        kernel = compile_body(body)
+        locks = [op.attrs["lock"] for op in kernel.walk()
+                 if op.opcode is Opcode.CRITICAL]
+        assert locks[0] == locks[1]  # unnamed criticals share one lock
+        assert locks[2] != locks[0]
+
+    def test_barrier_lowered(self):
+        body = "a[0] = 1.0f;\n#pragma omp barrier\na[1] = 2.0f;"
+        kernel = compile_body(body)
+        assert any(op.opcode is Opcode.BARRIER for op in kernel.walk())
+
+    def test_if_else_regions(self):
+        body = "if (n > 2) { a[0] = 1.0f; } else { a[1] = 2.0f; }"
+        kernel = compile_body(body)
+        ifs = [op for op in kernel.walk() if op.opcode is Opcode.IF]
+        assert len(ifs) == 1 and len(ifs[0].regions) == 2
+
+    def test_loop_carries_unroll(self):
+        body = "#pragma unroll 2\nfor (int i = 0; i < n; ++i) { a[i] = 0.0f; }"
+        kernel = compile_body(body)
+        loops = [op for op in kernel.walk() if op.opcode is Opcode.FOR]
+        assert loops[0].attrs["unroll"] == 2
+
+    def test_inclusive_bound_adds_one(self):
+        body = "for (int i = 0; i <= n; ++i) { a[i] = 0.0f; }"
+        kernel = compile_body(body)
+        loop = [op for op in kernel.walk() if op.opcode is Opcode.FOR][0]
+        # the upper bound should be an ADD of n and 1
+        assert loop.operands[1].producer.opcode is Opcode.ADD
+
+
+class TestMemory:
+    def test_local_array_flattened(self):
+        body = "float buf[4][8];\nbuf[1][2] = 3.0f;\nfloat x = buf[1][2];"
+        kernel = compile_body(body)
+        allocs = [op for op in kernel.walk() if op.opcode is Opcode.ALLOC_LOCAL]
+        assert allocs[0].attrs["array"].size == 32
+        assert allocs[0].result.type.space is MemorySpace.LOCAL
+
+    def test_vector_load_from_cast(self):
+        body = "float4 v = *((float4*) &a[0]);"
+        kernel = compile_body(body)
+        loads = [op for op in kernel.walk() if op.opcode is Opcode.LOAD]
+        assert isinstance(loads[0].result.type, VectorType)
+        assert loads[0].result.type.lanes == 4
+
+    def test_vector_store_through_cast(self):
+        body = """
+        float buf[8];
+        *((float4*) &buf[4]) = *((float4*) &a[0]);
+        """
+        kernel = compile_body(body)
+        stores = [op for op in kernel.walk() if op.opcode is Opcode.STORE]
+        assert isinstance(stores[0].operands[2].type, VectorType)
+
+    def test_lane_store_on_register(self):
+        body = "float4 v = {0.0f};\nv[2] = 5.0f;"
+        kernel = compile_body(body)
+        assert any(op.opcode is Opcode.INSERT for op in kernel.walk())
+
+    def test_compound_assign_reads_then_writes(self):
+        body = "a[0] += 2.0f;"
+        kernel = compile_body(body)
+        opcodes = [op.opcode for op in kernel.walk()]
+        assert Opcode.LOAD in opcodes and Opcode.STORE in opcodes
+        assert opcodes.index(Opcode.LOAD) < opcodes.index(Opcode.STORE)
+
+    def test_kernel_validates(self):
+        body = """
+        float buf[8];
+        for (int i = 0; i < 8; ++i) {
+          buf[i] = a[i] * 2.0f;
+        }
+        #pragma omp critical
+        { a[0] = buf[0]; }
+        """
+        kernel = compile_body(body)
+        validate_kernel(kernel)
+
+
+class TestExpressions:
+    def test_ternary_becomes_select(self):
+        body = "float x = n > 0 ? 1.0f : 0.0f;"
+        kernel = compile_body(body)
+        assert any(op.opcode is Opcode.SELECT for op in kernel.walk())
+
+    def test_increment_statement(self):
+        body = "int x = 0;\nx++;"
+        kernel = compile_body(body)
+        writes = [op for op in kernel.walk() if op.opcode is Opcode.WRITE_VAR]
+        assert len(writes) >= 2
+
+    def test_logical_and(self):
+        body = "if (n > 0 && n < 10) { a[0] = 1.0f; }"
+        kernel = compile_body(body)
+        assert any(op.opcode is Opcode.AND for op in kernel.walk())
+
+    def test_division(self):
+        body = "int x = n / 2;\nint y = n % 2;"
+        kernel = compile_body(body)
+        opcodes = [op.opcode for op in kernel.walk()]
+        assert Opcode.DIV in opcodes and Opcode.REM in opcodes

@@ -1,0 +1,232 @@
+"""Tests for the Paraver writer, parser and analysis (round trips)."""
+
+import numpy as np
+import pytest
+
+from repro.paraver import (
+    EVENT_TYPE_IDS, STATE_IDS, ParaverParseError, bandwidth_series_gbs,
+    gflops_series, load_balance, parse_prv, phase_overlap, render_series,
+    render_state_timeline, state_fractions, thread_activity_windows,
+    total_gflops, write_trace,
+)
+from repro.profiling import (
+    EventKind, ProfilingConfig, ProfilingRecorder, ThreadState,
+)
+
+
+def make_trace(threads: int = 2, period: int = 100, end: int = 1000):
+    recorder = ProfilingRecorder(ProfilingConfig(sampling_period=period),
+                                 threads)
+    recorder.set_state(10, 0, ThreadState.RUNNING)
+    recorder.set_state(500, 0, ThreadState.CRITICAL)
+    recorder.set_state(550, 0, ThreadState.RUNNING)
+    recorder.set_state(900, 0, ThreadState.IDLE)
+    recorder.set_state(20, 1, ThreadState.RUNNING)
+    recorder.set_state(480, 1, ThreadState.SPINNING)
+    recorder.set_state(560, 1, ThreadState.RUNNING)
+    recorder.set_state(950, 1, ThreadState.IDLE)
+    recorder.add_range(0, 500, 0, EventKind.FLOPS, 5000)
+    recorder.add_range(0, 500, 0, EventKind.MEM_READ_BYTES, 64000)
+    recorder.add_range(400, 900, 1, EventKind.FLOPS, 2000)
+    recorder.add(120, 1, EventKind.STALLS, 42)
+    recorder.add(130, 0, EventKind.MEM_WRITE_BYTES, 256)
+    recorder.add(140, 0, EventKind.INTOPS, 10)
+    return recorder.finalize(end)
+
+
+class TestWriter:
+    def test_three_files(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        for path in (files.prv, files.pcf, files.row):
+            assert (tmp_path / path.split("/")[-1]).exists()
+
+    def test_prv_header(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        header = open(files.prv).readline()
+        assert header.startswith("#Paraver")
+        assert ":1000:" in header  # end time
+
+    def test_pcf_contains_states_and_events(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        pcf = open(files.pcf).read()
+        for name in ("Idle", "Running", "Critical", "Spinning"):
+            assert name in pcf
+        assert str(EVENT_TYPE_IDS[EventKind.FLOPS]) in pcf
+        assert "STATES_COLOR" in pcf
+
+    def test_row_labels(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        row = open(files.row).read()
+        assert "HW thread 0" in row and "HW thread 1" in row
+
+    def test_records_sorted_by_time(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        times = []
+        for line in open(files.prv):
+            if line[0] in "12":
+                fields = line.split(":")
+                times.append(int(fields[5]))
+        assert times == sorted(times)
+
+    def test_prv_extension_respected(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run.prv"))
+        assert files.prv.endswith("run.prv")
+        assert files.pcf.endswith("run.pcf")
+
+
+class TestRoundTrip:
+    def test_states_roundtrip(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        parsed = parse_prv(files.prv)
+        assert parsed.end_time == 1000
+        assert parsed.num_tasks == 2
+        # total per-state durations must match
+        durations = parsed.state_durations()
+        original = trace.state_durations()
+        for state in ThreadState:
+            assert durations.get(STATE_IDS[state], 0) == original[state]
+
+    def test_events_roundtrip(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        parsed = parse_prv(files.prv)
+        flops_events = parsed.events_of_type(EVENT_TYPE_IDS[EventKind.FLOPS])
+        total = sum(e.value for e in flops_events)
+        assert total == pytest.approx(7000, abs=len(flops_events))
+
+    def test_parse_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.prv"
+        path.write_text("not a paraver file\n")
+        with pytest.raises(ParaverParseError):
+            parse_prv(str(path))
+
+    def test_parse_rejects_bad_record(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        content = open(files.prv).read() + "2:1:1:1:1:10:99\n"  # odd pairs
+        path = tmp_path / "bad.prv"
+        path.write_text(content)
+        with pytest.raises(ParaverParseError):
+            parse_prv(str(path))
+
+
+class TestAnalysis:
+    def test_state_fractions(self):
+        trace = make_trace()
+        fractions = state_fractions(trace)
+        assert fractions[ThreadState.CRITICAL] > 0
+        assert fractions[ThreadState.SPINNING] > 0
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_bandwidth_series(self):
+        trace = make_trace()
+        bw = bandwidth_series_gbs(trace, clock_mhz=100.0)
+        assert bw.shape == (10,)
+        assert bw.max() > 0
+
+    def test_gflops_series_and_total(self):
+        trace = make_trace()
+        series = gflops_series(trace, clock_mhz=100.0)
+        assert series.sum() > 0
+        total = total_gflops(trace, clock_mhz=100.0)
+        seconds = 1000 / 100e6
+        assert total == pytest.approx(7000 / 1e9 / seconds, rel=1e-6)
+
+    def test_load_balance_range(self):
+        trace = make_trace()
+        balance = load_balance(trace)
+        assert 0 < balance <= 1.0
+
+    def test_thread_activity_windows(self):
+        trace = make_trace()
+        spans = thread_activity_windows(trace)
+        assert spans[0, 0] == 10 and spans[0, 1] == 900
+        assert spans[1, 0] == 20 and spans[1, 1] == 950
+
+    def test_phase_overlap_counts(self):
+        trace = make_trace()
+        phases = phase_overlap(trace, clock_mhz=100.0)
+        assert phases.total == 10
+        assert 0 <= phases.overlap_fraction <= 1
+
+
+class TestRender:
+    def test_state_timeline_shape(self):
+        trace = make_trace()
+        text = render_state_timeline(trace, width=50)
+        lines = text.splitlines()
+        assert len(lines) == 3  # 2 threads + legend
+        assert lines[0].startswith("t0: ")
+        assert len(lines[0]) == len("t0: ") + 50
+
+    def test_state_timeline_content(self):
+        trace = make_trace()
+        text = render_state_timeline(trace, width=100)
+        assert "#" in text  # running
+        assert "C" in text.splitlines()[0]  # thread 0 critical phase
+
+    def test_zoom_window(self):
+        trace = make_trace()
+        text = render_state_timeline(trace, width=20, start=480, end=560)
+        assert "s" in text.splitlines()[1]  # thread 1 spinning in the window
+
+    def test_empty_window_rejected(self):
+        trace = make_trace()
+        with pytest.raises(ValueError):
+            render_state_timeline(trace, start=100, end=100)
+
+    def test_render_series(self):
+        text = render_series([0, 1, 2, 3, 4], width=5, height=3, label="x")
+        lines = text.splitlines()
+        assert lines[0].startswith("x")
+        assert len(lines) == 5  # label + 3 rows + axis
+
+    def test_render_series_downsamples(self):
+        text = render_series(list(range(1000)), width=10, height=2)
+        axis = text.splitlines()[-1]
+        assert len(axis) == 10
+
+    def test_render_empty_series(self):
+        assert "empty" in render_series([], label="y")
+
+
+class TestCommRecords:
+    """Communication-record scaffolding (future-work §VII in the paper)."""
+
+    def _comms(self):
+        from repro.paraver import CommRecord
+        return [CommRecord(0, 1, 100, 105, 300, 310, 4096, tag=1),
+                CommRecord(1, 0, 400, 402, 500, 501, 64)]
+
+    def test_comm_roundtrip(self, tmp_path):
+        from repro.paraver import write_trace, parse_prv
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "comm"),
+                            comms=self._comms())
+        parsed = parse_prv(files.prv)
+        assert len(parsed.comms) == 2
+        first = parsed.comms[0]
+        assert (first.src_task, first.dst_task) == (1, 2)
+        assert first.size == 4096 and first.tag == 1
+
+    def test_comm_records_time_sorted(self, tmp_path):
+        from repro.paraver import write_trace
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "comm"),
+                            comms=list(reversed(self._comms())))
+        times = [int(line.split(":")[5]) for line in open(files.prv)
+                 if line.startswith("3:")]
+        assert times == sorted(times)
+
+    def test_no_comms_by_default(self, tmp_path):
+        from repro.paraver import write_trace, parse_prv
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "plain"))
+        assert parse_prv(files.prv).comms == []

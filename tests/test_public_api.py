@@ -1,0 +1,70 @@
+"""Smoke tests for the public API surface and package metadata."""
+
+import numpy as np
+import pytest
+
+
+def test_top_level_exports():
+    import repro
+    for name in ("Program", "Simulation", "SimConfig", "DramConfig",
+                 "HLSCompiler", "HLSOptions", "compile_source", "simulate",
+                 "Accelerator", "__version__"):
+        assert hasattr(repro, name), name
+
+
+def test_subpackage_exports():
+    from repro import analysis, apps, frontend, hls, ir, paraver, profiling, sim
+    assert callable(analysis.diagnose)
+    assert callable(apps.run_gemm) and callable(apps.run_pi)
+    assert callable(frontend.compile_to_kernel)
+    assert callable(hls.compile_source) and callable(hls.compile_report)
+    assert callable(ir.validate_kernel)
+    assert callable(paraver.write_trace) and callable(paraver.parse_prv)
+    assert profiling.ThreadState.RUNNING is not None
+    assert callable(sim.simulate)
+
+
+def test_simulate_helper(rng):
+    """The one-call `repro.simulate` path works end to end."""
+
+    from repro import SimConfig, compile_source, simulate
+    source = """
+    void scale(float* a, int n) {
+      #pragma omp target parallel map(tofrom:a[0:n]) num_threads(2)
+      {
+        int t = omp_get_thread_num();
+        int nt = omp_get_num_threads();
+        for (int i = t; i < n; i += nt) { a[i] = a[i] * 3.0f; }
+      }
+    }
+    """
+    acc = compile_source(source)
+    a = rng.random(32, dtype=np.float32)
+    expected = a * 3.0
+    result = simulate(acc, {"a": a, "n": 32},
+                      config=SimConfig(thread_start_interval=5))
+    assert np.allclose(a, expected, rtol=1e-5)
+    assert result.seconds > 0
+    assert result.cycles == pytest.approx(result.seconds
+                                          * result.clock_mhz * 1e6)
+
+
+def test_version_matches_pyproject():
+    import os
+    import repro
+    here = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    with open(os.path.join(here, "pyproject.toml")) as handle:
+        content = handle.read()
+    assert f'version = "{repro.__version__}"' in content
+
+
+def test_apps_inventory():
+    from repro.apps.gemm import EXTRA_VERSIONS, GEMM_VERSIONS
+    assert list(GEMM_VERSIONS) == ["naive", "no_critical", "vectorized",
+                                   "blocked", "double_buffered"]
+    assert set(EXTRA_VERSIONS) == {"naive_sum", "preloaded"}
+
+
+def test_pi_flops_constant():
+    from repro.apps.pi import pi_flops_per_iteration
+    assert pi_flops_per_iteration() == 6

@@ -1,0 +1,55 @@
+"""Tests for the HLS compile report."""
+
+import pytest
+
+from repro.apps.gemm import GEMM_VERSIONS, gemm_defines
+from repro.hls import compile_source
+from repro.hls.report import compile_report, schedule_tree
+
+
+@pytest.fixture(scope="module")
+def naive_acc():
+    return compile_source(GEMM_VERSIONS["naive"], defines=gemm_defines("naive"))
+
+
+def test_report_sections(naive_acc):
+    text = compile_report(naive_acc)
+    for section in ("HLS compile report: matmul", "hardware threads : 8",
+                    "pipeline stages", "loops:", "variable-latency",
+                    "area estimate", "profiling unit", "schedule tree:"):
+        assert section in text
+
+
+def test_report_lists_loops(naive_acc):
+    text = compile_report(naive_acc)
+    assert "pipelined" in text
+    assert "sequential" in text
+
+
+def test_report_counts_vlos(naive_acc):
+    text = compile_report(naive_acc)
+    assert "external load" in text
+    assert "external store" in text
+
+
+def test_schedule_tree_structure(naive_acc):
+    tree = schedule_tree(naive_acc.schedule.body)
+    assert "for i" in tree
+    assert "for k (pipelined" in tree
+    assert "critical lock=0" in tree
+    assert "after [" in tree  # dependences are rendered
+
+
+def test_report_without_profiling():
+    from repro.hls import HLSOptions
+    from repro.profiling import ProfilingConfig
+    acc = compile_source(GEMM_VERSIONS["naive"], defines=gemm_defines("naive"),
+                         options=HLSOptions(
+                             profiling=ProfilingConfig.disabled()))
+    assert "profiling unit: disabled" in compile_report(acc)
+
+
+def test_report_shows_conflict_groups():
+    acc = compile_source(GEMM_VERSIONS["blocked"],
+                         defines=gemm_defines("blocked"))
+    assert "local-memory conflict groups" in compile_report(acc)

@@ -1,0 +1,156 @@
+"""Unit tests for the hardware semaphore and barrier."""
+
+import pytest
+
+from repro.sim.engine import Engine
+from repro.sim.sync import Barrier, HardwareSemaphore
+
+
+def test_uncontended_acquire_costs_grant_latency():
+    engine = Engine()
+    sem = HardwareSemaphore(engine, grant_latency=3)
+    trace = []
+
+    def proc():
+        yield from sem.acquire(0, 0)
+        trace.append(engine.now)
+        sem.release(0, 0)
+
+    engine.spawn(proc())
+    engine.run()
+    assert trace == [3]
+
+
+def test_mutual_exclusion():
+    engine = Engine()
+    sem = HardwareSemaphore(engine)
+    inside = []
+    overlap = []
+
+    def proc(tid):
+        yield from sem.acquire(0, tid)
+        overlap.append(len(inside) == 0)
+        inside.append(tid)
+        yield 10
+        inside.remove(tid)
+        sem.release(0, tid)
+
+    for tid in range(4):
+        engine.spawn(proc(tid))
+    engine.run()
+    assert all(overlap)
+
+
+def test_fifo_grant_order():
+    engine = Engine()
+    sem = HardwareSemaphore(engine)
+    order = []
+
+    def proc(tid, start):
+        yield start
+        yield from sem.acquire(0, tid)
+        order.append(tid)
+        yield 20
+        sem.release(0, tid)
+
+    for tid, start in [(0, 0), (1, 1), (2, 2)]:
+        engine.spawn(proc(tid, start))
+    engine.run()
+    assert order == [0, 1, 2]
+
+
+def test_distinct_locks_independent():
+    engine = Engine()
+    sem = HardwareSemaphore(engine)
+    times = {}
+
+    def proc(tid, lock):
+        yield from sem.acquire(lock, tid)
+        yield 50
+        times[tid] = engine.now
+        sem.release(lock, tid)
+
+    engine.spawn(proc(0, 0))
+    engine.spawn(proc(1, 1))
+    engine.run()
+    assert abs(times[0] - times[1]) < 5  # ran concurrently
+
+
+def test_release_by_non_holder_rejected():
+    engine = Engine()
+    sem = HardwareSemaphore(engine)
+
+    def proc():
+        yield from sem.acquire(0, 0)
+        sem.release(0, 1)
+
+    engine.spawn(proc())
+    with pytest.raises(RuntimeError, match="released lock"):
+        engine.run()
+
+
+def test_contention_statistics():
+    engine = Engine()
+    sem = HardwareSemaphore(engine)
+
+    def proc(tid):
+        yield from sem.acquire(0, tid)
+        yield 5
+        sem.release(0, tid)
+
+    for tid in range(3):
+        engine.spawn(proc(tid))
+    engine.run()
+    assert sem.acquisitions[0] == 3
+    assert sem.contended[0] == 2
+
+
+class TestBarrier:
+    def test_all_wait_for_last(self):
+        engine = Engine()
+        barrier = Barrier(engine, parties=3, latency=0)
+        times = {}
+
+        def proc(tid, start):
+            yield start
+            yield from barrier.wait(tid)
+            times[tid] = engine.now
+
+        for tid, start in [(0, 1), (1, 5), (2, 20)]:
+            engine.spawn(proc(tid, start))
+        engine.run()
+        assert times == {0: 20, 1: 20, 2: 20}
+
+    def test_reusable_generations(self):
+        engine = Engine()
+        barrier = Barrier(engine, parties=2, latency=0)
+        hits = []
+
+        def proc(tid):
+            for round_no in range(3):
+                yield 1
+                yield from barrier.wait(tid)
+                hits.append((round_no, tid, engine.now))
+
+        engine.spawn(proc(0))
+        engine.spawn(proc(1))
+        engine.run()
+        assert barrier.generations == 3
+        # both threads observe the same time each round
+        by_round = {}
+        for round_no, _tid, now in hits:
+            by_round.setdefault(round_no, set()).add(now)
+        assert all(len(times) == 1 for times in by_round.values())
+
+    def test_latency_applied(self):
+        engine = Engine()
+        barrier = Barrier(engine, parties=1, latency=7)
+        times = []
+
+        def proc():
+            yield from barrier.wait(0)
+            times.append(engine.now)
+
+        engine.spawn(proc())
+        engine.run()
+        assert times == [7]
