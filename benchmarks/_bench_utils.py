@@ -17,6 +17,7 @@ from __future__ import annotations
 import os
 from typing import Callable
 
+from repro import telemetry
 from repro.apps import GemmRun, PiRun, run_gemm, run_pi
 from repro.apps.gemm import GEMM_VERSIONS
 from repro.core import SimConfig
@@ -35,11 +36,34 @@ RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 _GEMM_CACHE: dict[str, GemmRun] = {}
 _PI_CACHE: dict[int, PiRun] = {}
 
+#: run key -> toolchain telemetry snapshot captured during the run
+#: (per-phase wall ms + counters); report() attaches these so the
+#: benchmark trajectory gains per-phase toolchain breakdowns.
+TELEMETRY_SNAPSHOTS: dict[str, dict] = {}
+
+
+def _run_instrumented(key: str, thunk: Callable):
+    """Run ``thunk`` with toolchain telemetry on; stash the snapshot.
+
+    Telemetry measures wall time of the compile→simulate pipeline only —
+    simulated cycle counts are bit-identical with it on or off, so the
+    cached runs every bench table is built from are unperturbed.
+    """
+
+    session = telemetry.configure(enabled=True)
+    try:
+        result = thunk()
+        TELEMETRY_SNAPSHOTS[key] = session.snapshot()
+    finally:
+        telemetry.configure(enabled=False)
+    return result
+
 
 def gemm_run_cached(version: str) -> GemmRun:
     run = _GEMM_CACHE.get(version)
     if run is None:
-        run = run_gemm(version, dim=GEMM_DIM)
+        run = _run_instrumented(f"gemm:{version}",
+                                lambda: run_gemm(version, dim=GEMM_DIM))
         _GEMM_CACHE[version] = run
     return run
 
@@ -48,15 +72,39 @@ def pi_run_cached(steps: int) -> PiRun:
     run = _PI_CACHE.get(steps)
     if run is None:
         config = SimConfig(thread_start_interval=PI_START_INTERVAL)
-        run = run_pi(steps, sim_config=config)
+        run = _run_instrumented(f"pi:{steps}",
+                                lambda: run_pi(steps, sim_config=config))
         _PI_CACHE[steps] = run
     return run
 
 
-def report(experiment: str, lines: list[str]) -> None:
-    """Print the experiment table and persist it under results/."""
+def telemetry_lines() -> list[str]:
+    """Per-phase toolchain breakdown lines for all instrumented runs."""
 
-    text = "\n".join(lines)
+    if not TELEMETRY_SNAPSHOTS:
+        return []
+    lines = ["", "toolchain telemetry (wall ms per phase, from --telemetry "
+                 "instrumentation)"]
+    for key in sorted(TELEMETRY_SNAPSHOTS):
+        snapshot = TELEMETRY_SNAPSHOTS[key]
+        phases = snapshot.get("phases_ms", {})
+        breakdown = "  ".join(f"{name}={ms:.1f}"
+                              for name, ms in sorted(phases.items()))
+        cps = snapshot.get("gauges", {}).get("sim.cycles_per_sec")
+        throughput = f"  sim-throughput={cps:,.0f} cyc/s" if cps else ""
+        lines.append(f"  {key:18s} {breakdown}{throughput}")
+    return lines
+
+
+def report(experiment: str, lines: list[str]) -> None:
+    """Print the experiment table and persist it under results/.
+
+    Appends the toolchain-telemetry per-phase breakdown of every run
+    instrumented so far, so each results file records not only what the
+    simulated hardware did but what the toolchain spent producing it.
+    """
+
+    text = "\n".join(list(lines) + telemetry_lines())
     print(f"\n{text}")
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as out:

@@ -14,7 +14,10 @@ The package implements the paper's whole stack in Python:
   trace buffer) of §IV;
 * :mod:`repro.paraver` — Paraver trace writer/parser/analysis/rendering;
 * :mod:`repro.analysis` — automatic bottleneck classification;
-* :mod:`repro.apps` — the paper's case studies (5 GEMM versions, π).
+* :mod:`repro.apps` — the paper's case studies (5 GEMM versions, π);
+* :mod:`repro.telemetry` — toolchain-side observability: spans/counters
+  over the compile→simulate→trace pipeline with summary/JSONL/Chrome
+  trace exporters (off by default, zero overhead when disabled).
 
 Quick start::
 

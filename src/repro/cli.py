@@ -10,11 +10,19 @@ Mirrors how a user of the paper's flow would drive it:
   trace for visualization;
 * ``inspect``  — summarize an existing .prv trace (state histogram and
   event totals);
-* ``demo``     — run one of the paper's case studies (gemm / pi).
+* ``demo``     — run one of the paper's case studies (gemm / pi);
+* ``stats``    — pretty-print a telemetry JSONL metrics file.
 
 Synthetic arguments: scalar kernel parameters can be set with
 ``--arg name=value``; pointer parameters get random buffers sized from
 their map clauses.
+
+Toolchain telemetry: ``compile``/``run``/``trace``/``demo`` accept a
+global ``--telemetry [PATH]`` option (plus ``--telemetry-format
+{summary,jsonl,chrome}``) that records spans/counters for the whole
+compile→simulate→trace pipeline — the toolchain-side mirror of the
+Paraver traces the simulated hardware emits.  ``chrome`` output loads
+in Perfetto / ``chrome://tracing``.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ from typing import Optional
 
 import numpy as np
 
+from . import telemetry as _telemetry
 from .analysis import diagnose
 from .core import Program, SimConfig
 from .frontend.pragmas import eval_int_expr
@@ -55,8 +64,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="compile-time value for synthesis clauses "
                             "such as num_threads(expr)")
 
+    def add_telemetry_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--telemetry", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="record toolchain telemetry (spans/counters); "
+                            "write to PATH, or print when PATH is omitted")
+        p.add_argument("--telemetry-format",
+                       choices=["summary", "jsonl", "chrome"], default=None,
+                       help="telemetry output format (default: summary "
+                            "when printing, jsonl when writing to PATH)")
+
     p_compile = sub.add_parser("compile", help="compile and report")
     add_source_args(p_compile)
+    add_telemetry_args(p_compile)
     p_compile.add_argument("--no-profiling", action="store_true",
                            help="strip the profiling unit")
 
@@ -64,6 +84,7 @@ def build_parser() -> argparse.ArgumentParser:
                             ("trace", "simulate and write a Paraver trace")):
         p = sub.add_parser(name, help=help_text)
         add_source_args(p)
+        add_telemetry_args(p)
         p.add_argument("--arg", action="append", default=[],
                        metavar="NAME=VALUE", help="scalar kernel argument")
         p.add_argument("--seed", type=int, default=0,
@@ -83,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="matrix dimension (gemm)")
     p_demo.add_argument("--steps", type=int, default=128000,
                         help="series iterations (pi)")
+    add_telemetry_args(p_demo)
+
+    p_stats = sub.add_parser(
+        "stats", help="pretty-print a telemetry JSONL metrics file")
+    p_stats.add_argument("metrics", help="path to a metrics .jsonl file "
+                                         "written by --telemetry")
     return parser
 
 
@@ -179,9 +206,34 @@ def _print_run_summary(result) -> None:
     print(diagnose(result))
 
 
+def _export_telemetry(args: argparse.Namespace) -> None:
+    """Write/print the session's telemetry per the --telemetry flags."""
+
+    session = _telemetry.get_telemetry()
+    path = args.telemetry
+    fmt = args.telemetry_format or ("summary" if path == "-" else "jsonl")
+    if path == "-":
+        print()
+        print(_telemetry.export(session, fmt), end="")
+        return
+    _telemetry.export(session, fmt, path)
+    print(f"\ntelemetry written: {path} ({fmt})")
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "telemetry", None) is None:
+        return _dispatch(args)
+    _telemetry.configure(enabled=True)
+    try:
+        status = _dispatch(args)
+    finally:
+        _telemetry.get_telemetry().enabled = False
+    _export_telemetry(args)
+    return status
 
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "compile":
         program = _load_program(args, profiling_off=args.no_profiling)
         print(compile_report(program.accelerator), end="")
@@ -202,7 +254,17 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
 
     if args.command == "inspect":
-        parsed = parse_prv(args.trace)
+        from .paraver.parser import ParaverParseError
+        try:
+            parsed = parse_prv(args.trace)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read trace {args.trace!r}: "
+                f"{exc.strerror or exc}") from exc
+        except (ParaverParseError, ValueError) as exc:
+            raise SystemExit(
+                f"{args.trace!r} is not a valid Paraver trace: {exc}"
+            ) from exc
         print(f"trace      : {args.trace}")
         print(f"duration   : {parsed.end_time} cycles")
         print(f"threads    : {parsed.num_tasks}")
@@ -238,6 +300,20 @@ def main(argv: Optional[list[str]] = None) -> int:
             print(f"pi({args.steps}) = {run.value:.7f} "
                   f"(error {run.error:.2e}) in {run.cycles} cycles, "
                   f"{run.gflops:.3f} GFLOP/s")
+        return 0
+
+    if args.command == "stats":
+        try:
+            records = _telemetry.read_jsonl(args.metrics)
+        except OSError as exc:
+            raise SystemExit(
+                f"cannot read metrics {args.metrics!r}: "
+                f"{exc.strerror or exc}") from exc
+        except ValueError as exc:
+            raise SystemExit(
+                f"{args.metrics!r} is not a telemetry metrics file: {exc}"
+            ) from exc
+        print(_telemetry.summarize_records(records), end="")
         return 0
 
     raise AssertionError(args.command)  # pragma: no cover

@@ -20,6 +20,7 @@ from typing import Any, Mapping, Optional, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..frontend import find_kernel_function, parse_source
 from ..frontend.ast_nodes import (
     Assign, Binary, Call, Cast, CompoundStmt, DeclStmt, Expr, ExprStmt,
@@ -56,10 +57,13 @@ class Program:
                  options: Optional[HLSOptions] = None,
                  sim_config: Optional[SimConfig] = None,
                  filename: str = "<source>"):
-        self.unit = parse_source(source, filename=filename, defines=defines)
-        self.function: FunctionDef = find_kernel_function(self.unit)
-        self.sema = analyze_function(self.function)
-        kernel = lower_to_kernel(self.sema, const_env=const_env)
+        with telemetry.span("frontend", category="frontend",
+                            filename=filename):
+            self.unit = parse_source(source, filename=filename,
+                                     defines=defines)
+            self.function: FunctionDef = find_kernel_function(self.unit)
+            self.sema = analyze_function(self.function)
+            kernel = lower_to_kernel(self.sema, const_env=const_env)
         self.accelerator: Accelerator = HLSCompiler(options).compile(kernel)
         self.sim_config = sim_config or SimConfig()
         self._simulation = Simulation(self.accelerator, self.sim_config)

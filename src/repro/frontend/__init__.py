@@ -71,7 +71,10 @@ def compile_to_kernel(source: str, filename: str = "<source>",
     compile-time values for synthesis-time clauses (``num_threads``).
     """
 
-    unit = parse_source(source, filename=filename, defines=defines)
-    function = find_kernel_function(unit)
-    sema = analyze_function(function)
-    return lower_to_kernel(sema, const_env=const_env)
+    from .. import telemetry
+
+    with telemetry.span("frontend", category="frontend"):
+        unit = parse_source(source, filename=filename, defines=defines)
+        function = find_kernel_function(unit)
+        sema = analyze_function(function)
+        return lower_to_kernel(sema, const_env=const_env)

@@ -25,6 +25,7 @@ import re
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Union
 
+from .. import telemetry
 from .errors import LexError, SourceLocation
 
 __all__ = ["TokenKind", "Token", "tokenize", "KEYWORDS"]
@@ -97,28 +98,32 @@ def tokenize(source: str, filename: str = "<source>",
     override e.g. a matrix dimension.
     """
 
-    # Physical line continuations (used by multi-line pragmas) join lines;
-    # later diagnostics may therefore be off by the number of joined lines.
-    source = source.replace("\\\n", " ")
-    forced = {name: str(value) for name, value in (defines or {}).items()}
-    macros: dict[str, list[Token]] = {}
+    with telemetry.span("frontend.lexer", category="frontend"):
+        # Physical line continuations (used by multi-line pragmas) join
+        # lines; later diagnostics may therefore be off by the number of
+        # joined lines.
+        source = source.replace("\\\n", " ")
+        forced = {name: str(value) for name, value in (defines or {}).items()}
+        macros: dict[str, list[Token]] = {}
 
-    tokens: list[Token] = []
-    for line_no, line in enumerate(source.split("\n"), start=1):
-        stripped = line.lstrip()
-        if stripped.startswith("#"):
-            _handle_directive(stripped, line_no, filename, macros, forced, tokens)
-            continue
-        tokens.extend(_lex_line(line, line_no, filename))
+        tokens: list[Token] = []
+        for line_no, line in enumerate(source.split("\n"), start=1):
+            stripped = line.lstrip()
+            if stripped.startswith("#"):
+                _handle_directive(stripped, line_no, filename, macros,
+                                  forced, tokens)
+                continue
+            tokens.extend(_lex_line(line, line_no, filename))
 
-    # Expand macros (iteratively, so macros may reference other macros).
-    for name, text in forced.items():
-        macros[name] = _lex_line(text, 0, f"<define:{name}>")
-    expanded = _expand(tokens, macros)
-    expanded = [_expand_pragma(t, macros) for t in expanded]
-    eof_loc = SourceLocation(source.count("\n") + 1, 1, filename)
-    expanded.append(Token(TokenKind.EOF, "", eof_loc))
-    return expanded
+        # Expand macros (iteratively, so macros may reference other macros).
+        for name, text in forced.items():
+            macros[name] = _lex_line(text, 0, f"<define:{name}>")
+        expanded = _expand(tokens, macros)
+        expanded = [_expand_pragma(t, macros) for t in expanded]
+        eof_loc = SourceLocation(source.count("\n") + 1, 1, filename)
+        expanded.append(Token(TokenKind.EOF, "", eof_loc))
+        telemetry.add("frontend.tokens", len(expanded))
+        return expanded
 
 
 def _expand_pragma(token: Token, macros: Mapping[str, list["Token"]]) -> Token:

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Union
 
+from .. import telemetry
 from ..ir.builder import IRBuilder
 from ..ir.graph import Kernel, Param, Value
 from ..ir.types import (
@@ -86,7 +87,10 @@ def lower_to_kernel(sema: SemaResult,
     hardware thread count must be known when the accelerator is built.
     """
 
-    return _Lowerer(sema, const_env or {}).run()
+    with telemetry.span("frontend.lower", category="frontend"):
+        kernel = _Lowerer(sema, const_env or {}).run()
+    telemetry.add("frontend.ops_lowered", sum(1 for _ in kernel.walk()))
+    return kernel
 
 
 class _Lowerer:

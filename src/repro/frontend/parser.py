@@ -17,6 +17,7 @@ from .ast_nodes import (
     IntLiteral, ParamDecl, ReturnStmt, Stmt, Ternary, TranslationUnit,
     Unary,
 )
+from .. import telemetry
 from .errors import ParseError, SourceLocation
 from .lexer import Token, TokenKind, tokenize
 from .pragmas import parse_pragma
@@ -31,7 +32,10 @@ def parse(source: str, filename: str = "<source>", defines=None) -> TranslationU
     """Tokenize and parse ``source`` into a :class:`TranslationUnit`."""
 
     tokens = tokenize(source, filename=filename, defines=defines)
-    return Parser(tokens).parse_translation_unit()
+    with telemetry.span("frontend.parser", category="frontend"):
+        unit = Parser(tokens).parse_translation_unit()
+    telemetry.add("frontend.functions", len(unit.functions))
+    return unit
 
 
 def is_type_name(text: str) -> bool:

@@ -25,6 +25,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Optional
 
+from .. import telemetry
 from ..ir.types import (
     BOOL, FLOAT32, FLOAT64, INT32, INT64, MemorySpace, PointerType,
     ScalarType, Type, VectorType, common_arith_type,
@@ -174,8 +175,10 @@ class _Scope:
 def analyze_function(function: FunctionDef) -> SemaResult:
     """Analyze ``function`` and return the annotated :class:`SemaResult`."""
 
-    analyzer = _Analyzer(function)
-    return analyzer.run()
+    with telemetry.span("frontend.sema", category="frontend"):
+        result = _Analyzer(function).run()
+    telemetry.add("frontend.symbols", len(result.symbols))
+    return result
 
 
 class _Analyzer:

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
 
+from .. import telemetry
 from ..frontend import compile_to_kernel
 from ..ir.graph import Kernel
 from ..ir.validate import validate_kernel
@@ -71,14 +72,41 @@ class HLSCompiler:
     def compile(self, kernel: Kernel) -> Accelerator:
         """Compile an IR kernel (mutates it: transforms run in place)."""
 
-        stats: dict[str, int] = {}
-        if self.options.run_transforms:
-            stats = run_pipeline(kernel)
-        validate_kernel(kernel)
-        schedule = schedule_kernel(kernel, self.options.schedule)
-        area = estimate_area(schedule, self.options.profiling)
-        baseline = estimate_area(schedule, ProfilingConfig.disabled())
-        return Accelerator(kernel, schedule, self.options, area, baseline, stats)
+        with telemetry.span("hls", category="hls", kernel=kernel.name):
+            stats: dict[str, int] = {}
+            if self.options.run_transforms:
+                with telemetry.span("hls.transforms", category="hls"):
+                    stats = run_pipeline(kernel)
+                for pass_name, count in stats.items():
+                    telemetry.add(f"hls.transform.{pass_name}", count)
+            with telemetry.span("hls.validate", category="hls"):
+                validate_kernel(kernel)
+            with telemetry.span("hls.schedule", category="hls"):
+                schedule = schedule_kernel(kernel, self.options.schedule)
+            self._record_schedule_telemetry(schedule)
+            with telemetry.span("hls.area", category="hls"):
+                area = estimate_area(schedule, self.options.profiling)
+                baseline = estimate_area(schedule,
+                                         ProfilingConfig.disabled())
+            telemetry.set_gauge("hls.fmax_mhz", area.fmax_mhz)
+            return Accelerator(kernel, schedule, self.options, area,
+                               baseline, stats)
+
+    @staticmethod
+    def _record_schedule_telemetry(schedule: KernelSchedule) -> None:
+        if not telemetry.telemetry_enabled():
+            return
+        loops = list(schedule.body.walk_loops())
+        pipelined = [loop for loop in loops if loop.pipelined]
+        telemetry.add("hls.loops.scheduled", len(loops))
+        telemetry.add("hls.loops.pipelined", len(pipelined))
+        telemetry.add("hls.stages", schedule.total_stages)
+        telemetry.add("hls.stages.reordering", schedule.reordering_stages)
+        if pipelined:
+            telemetry.set_gauge("hls.ii.best",
+                                min(loop.ii for loop in pipelined))
+            telemetry.set_gauge("hls.ii.worst",
+                                max(loop.ii for loop in pipelined))
 
     def compile_source(self, source: str,
                        defines: Optional[Mapping[str, Union[int, float, str]]] = None,

@@ -224,12 +224,17 @@ def schedule_kernel(kernel: Kernel,
                     options: Optional[ScheduleOptions] = None) -> KernelSchedule:
     """Compute the static schedule for ``kernel``."""
 
+    from .. import telemetry
+
     options = options or ScheduleOptions()
-    accesses = collect_accesses(kernel)
+    with telemetry.span("hls.schedule.depanalysis", category="hls"):
+        accesses = collect_accesses(kernel)
     scheduler = _Scheduler(kernel, accesses, options)
-    body = scheduler.schedule_block(kernel.body)
+    with telemetry.span("hls.schedule.pipeline", category="hls"):
+        body = scheduler.schedule_block(kernel.body)
     schedule = KernelSchedule(kernel, body, accesses, options)
-    _assign_local_groups(schedule)
+    with telemetry.span("hls.schedule.local_groups", category="hls"):
+        _assign_local_groups(schedule)
     return schedule
 
 

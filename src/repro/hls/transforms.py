@@ -368,7 +368,13 @@ def _dce_block(block: Block, uses: set[int]) -> int:
 def run_pipeline(kernel: Kernel) -> dict[str, int]:
     """Run the standard pass pipeline; returns per-pass change counts."""
 
-    stats = {"unrolled": unroll_loops(kernel)}
-    stats["simplified"] = simplify(kernel)
-    stats["dce"] = eliminate_dead_ops(kernel)
+    from .. import telemetry
+
+    stats = {}
+    with telemetry.span("hls.transforms.unroll", category="hls"):
+        stats["unrolled"] = unroll_loops(kernel)
+    with telemetry.span("hls.transforms.simplify", category="hls"):
+        stats["simplified"] = simplify(kernel)
+    with telemetry.span("hls.transforms.dce", category="hls"):
+        stats["dce"] = eliminate_dead_ops(kernel)
     return stats

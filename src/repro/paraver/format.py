@@ -25,6 +25,7 @@ import os
 from dataclasses import dataclass
 from typing import Optional
 
+from .. import telemetry
 from ..profiling.config import EventKind, ThreadState
 from ..profiling.recorder import RunTrace
 
@@ -106,9 +107,14 @@ def write_trace(trace: RunTrace, path: str,
     path_pcf = base + ".pcf"
     path_row = base + ".row"
 
-    _write_prv(trace, path_prv, application, comms or [])
-    _write_pcf(trace, path_pcf)
-    _write_row(trace, path_row)
+    with telemetry.span("paraver", category="paraver", prv=path_prv):
+        records = _write_prv(trace, path_prv, application, comms or [])
+        _write_pcf(trace, path_pcf)
+        _write_row(trace, path_row)
+    telemetry.add("paraver.records", records)
+    telemetry.add("paraver.bytes",
+                  sum(os.path.getsize(p)
+                      for p in (path_prv, path_pcf, path_row)))
     return ParaverFiles(path_prv, path_pcf, path_row)
 
 
@@ -122,7 +128,7 @@ def _header(trace: RunTrace) -> str:
 
 
 def _write_prv(trace: RunTrace, path: str, application: str,
-               comms: list[CommRecord]) -> None:
+               comms: list[CommRecord]) -> int:
     with open(path, "w") as out:
         out.write(_header(trace) + "\n")
         out.write(f"c:{application}\n")
@@ -157,6 +163,7 @@ def _write_prv(trace: RunTrace, path: str, application: str,
         records.sort(key=lambda rec: (rec[0], rec[1]))
         for _, _, line in records:
             out.write(line + "\n")
+    return len(records)
 
 
 def _write_pcf(trace: RunTrace, path: str) -> None:

@@ -21,6 +21,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import telemetry
 from .config import EventKind, ProfilingConfig, ThreadState
 
 __all__ = ["StateInterval", "RunTrace", "ProfilingRecorder"]
@@ -176,6 +177,15 @@ class ProfilingRecorder:
 
     # ------------------------------------------------------------------
     def finalize(self, end_cycle: int) -> RunTrace:
+        with telemetry.span("profiling.finalize", category="profiling"):
+            trace = self._finalize(end_cycle)
+        telemetry.add("profiling.flushes", self.flushes)
+        telemetry.add("profiling.trace_bits", self.total_bits)
+        telemetry.add("profiling.state_records",
+                      sum(len(log) for log in self._state_log))
+        return trace
+
+    def _finalize(self, end_cycle: int) -> RunTrace:
         states: list[list[StateInterval]] = []
         for thread in range(self.num_threads):
             log = self._state_log[thread]

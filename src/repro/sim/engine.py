@@ -39,8 +39,13 @@ class Event:
         for process in waiters:
             engine.schedule(engine.now, process)
 
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Event({self.name or hex(id(self))}, {self.triggered})"
+    def __repr__(self) -> str:
+        # Safe at any lifecycle point: uses only this object's own slots
+        # (pre-trigger there is no engine reference to reach for).
+        label = self.name or f"@{id(self):#x}"
+        if self.triggered:
+            return f"Event({label}, fired)"
+        return f"Event({label}, pending, waiters={len(self.waiters)})"
 
 
 Command = Union[int, Event, "Process"]
@@ -56,6 +61,10 @@ class Process:
         self.done = Event(f"done:{name}")
         self.name = name
 
+    def __repr__(self) -> str:
+        state = "done" if self.done.triggered else "running"
+        return f"Process({self.name or f'@{id(self):#x}'}, {state})"
+
 
 class Engine:
     """Discrete-event scheduler over a single cycle clock."""
@@ -65,6 +74,11 @@ class Engine:
         self._heap: list[tuple[int, int, Process]] = []
         self._seq = itertools.count()
         self._active = 0
+        # Plain-int counters (cheap enough for the hot loop); surfaced
+        # through stats() for telemetry and tests alike.
+        self.events_fired = 0
+        self.processes_spawned = 0
+        self.heap_peak = 0
 
     # ------------------------------------------------------------------
     def spawn(self, generator: Generator[Command, None, None],
@@ -73,6 +87,7 @@ class Engine:
 
         process = Process(generator, name)
         self._active += 1
+        self.processes_spawned += 1
         self.schedule(self.now if at is None else at, process)
         return process
 
@@ -82,6 +97,8 @@ class Engine:
                 f"causality violation: scheduling {process.name!r} at {when} "
                 f"but the clock is already at {self.now}")
         heapq.heappush(self._heap, (when, next(self._seq), process))
+        if len(self._heap) > self.heap_peak:
+            self.heap_peak = len(self._heap)
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None) -> int:
@@ -94,8 +111,27 @@ class Engine:
                 self.now = until
                 return self.now
             self.now = when
+            self.events_fired += 1
             self._step(process)
         return self.now
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """Engine counters — one source of truth for telemetry and tests.
+
+        ``events_fired`` counts scheduler dispatches (heap pops),
+        ``queue_length`` the events still pending, ``heap_peak`` the
+        event-queue high-water mark.
+        """
+
+        return {
+            "now": self.now,
+            "events_fired": self.events_fired,
+            "queue_length": len(self._heap),
+            "active_processes": self._active,
+            "processes_spawned": self.processes_spawned,
+            "heap_peak": self.heap_peak,
+        }
 
     def _step(self, process: Process) -> None:
         try:

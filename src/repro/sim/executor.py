@@ -26,11 +26,13 @@ effect the π case study visualizes (Figs. 11-13).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
 import numpy as np
 
+from .. import telemetry
 from ..frontend.pragmas import eval_int_expr
 from ..hls.compiler import Accelerator
 from ..hls.schedule import (
@@ -174,6 +176,13 @@ class Simulation:
         defaults to the compiled design's estimated Fmax.
         """
 
+        with telemetry.span("sim", category="sim",
+                            kernel=self.kernel.name):
+            return self._run(args, clock_mhz)
+
+    def _run(self, args: Mapping[str, Union[np.ndarray, int, float]],
+             clock_mhz: Optional[float]) -> SimResult:
+        wall_start = time.perf_counter()
         engine = Engine()
         memory = ExternalMemory(self.config.dram)
         threads = self.kernel.num_threads
@@ -213,6 +222,7 @@ class Simulation:
         end = max(runtime.finish_time, memory.quiesce_time())
         trace = recorder.finalize(end)
         trace.flushes = recorder.flushes
+        self._record_telemetry(engine, memory, end, wall_start)
         return SimResult(
             cycles=end,
             clock_mhz=clock_mhz if clock_mhz is not None
@@ -225,6 +235,34 @@ class Simulation:
             dram_requests=memory.requests,
             dram_row_misses=memory.row_misses,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _record_telemetry(engine: Engine, memory: ExternalMemory,
+                          end: int, wall_start: float) -> None:
+        """Report engine/DRAM counters into the toolchain telemetry.
+
+        Pure observation of counters the models already keep — the
+        simulated cycle counts are bit-identical with telemetry on or
+        off.
+        """
+
+        if not telemetry.telemetry_enabled():
+            return
+        stats = engine.stats()
+        telemetry.add("sim.events_fired", stats["events_fired"])
+        telemetry.add("sim.processes_spawned", stats["processes_spawned"])
+        telemetry.max_gauge("sim.heap_peak", stats["heap_peak"])
+        telemetry.add("sim.cycles", end)
+        elapsed = time.perf_counter() - wall_start
+        if elapsed > 0:
+            telemetry.set_gauge("sim.cycles_per_sec", end / elapsed)
+        telemetry.add("sim.dram.requests", memory.requests)
+        telemetry.add("sim.dram.row_misses", memory.row_misses)
+        telemetry.add("sim.dram.bytes_read", memory.bytes_read)
+        telemetry.add("sim.dram.bytes_written", memory.bytes_written)
+        telemetry.add("sim.dram.arbitration_wait_cycles",
+                      memory.arbitration_wait_cycles)
 
     # ------------------------------------------------------------------
     def _bind_args(self, args: Mapping[str, Any], memory: ExternalMemory):

@@ -61,6 +61,9 @@ class ExternalMemory:
         self.bytes_written = 0
         self.requests = 0
         self.row_misses = 0
+        #: cycles requests spent queued behind busy banks / the channel
+        #: data bus (excludes the row-activation penalty itself)
+        self.arbitration_wait_cycles = 0
 
     # ------------------------------------------------------------------
     # allocation / host access
@@ -105,10 +108,13 @@ class ExternalMemory:
         key = (channel, bank)
         open_row, bank_ready = self._banks.get(key, (-1, 0))
         start = max(at, bank_ready)
+        penalty = 0
         if open_row != row:
-            start += cfg.row_miss_penalty  # activate: occupies the bank only
+            penalty = cfg.row_miss_penalty
+            start += penalty  # activate: occupies the bank only
             self.row_misses += 1
         start = max(start, self._bus_busy[channel])
+        self.arbitration_wait_cycles += start - at - penalty
         self._bus_busy[channel] = start + transfer
         self._banks[key] = (row, start + transfer)
         self.requests += 1

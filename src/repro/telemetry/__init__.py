@@ -1,0 +1,42 @@
+"""Toolchain telemetry: spans, counters, gauges + exporters.
+
+Observability for the toolchain *itself*, mirroring what the paper's
+profiling unit does for the simulated hardware: the compile→simulate→
+trace pipeline reports hierarchical wall-clock spans and cheap counters
+into a process-wide registry, exportable as a summary table, a JSONL
+metrics file, or a Chrome trace-event JSON (Perfetto /
+``chrome://tracing``).
+
+Typical use::
+
+    from repro import telemetry
+
+    session = telemetry.configure(enabled=True)
+    ...  # compile / simulate / write traces
+    print(telemetry.render_summary(session))
+    telemetry.write_chrome_trace(session, "toolchain.json")
+
+Instrumented code uses the module-level helpers, which no-op while the
+registry is disabled (the default)::
+
+    with telemetry.span("hls.schedule", category="hls"):
+        ...
+    telemetry.add("hls.loops.pipelined", len(loops))
+"""
+
+from .core import (
+    SpanRecord, Telemetry, add, configure, get_telemetry, max_gauge,
+    set_gauge, span, telemetry_enabled, traced,
+)
+from .exporters import (
+    chrome_trace_events, export, read_jsonl, render_chrome_trace,
+    render_summary, summarize_records, write_chrome_trace, write_jsonl,
+)
+
+__all__ = [
+    "SpanRecord", "Telemetry", "add", "configure", "get_telemetry",
+    "max_gauge", "set_gauge", "span", "telemetry_enabled", "traced",
+    "chrome_trace_events", "export", "read_jsonl", "render_chrome_trace",
+    "render_summary", "summarize_records", "write_chrome_trace",
+    "write_jsonl",
+]

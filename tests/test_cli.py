@@ -82,6 +82,82 @@ class TestTraceAndInspect:
         assert "threads    : 2" in out
         assert "Running" in out
 
+    def test_inspect_missing_file_clean_error(self):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["inspect", "/nonexistent/trace.prv"])
+
+    def test_inspect_garbled_file_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.prv"
+        bad.write_text("this is not a paraver trace\n")
+        with pytest.raises(SystemExit, match="not a valid Paraver trace"):
+            main(["inspect", str(bad)])
+
+    def test_inspect_truncated_records_clean_error(self, tmp_path):
+        bad = tmp_path / "trunc.prv"
+        bad.write_text("#Paraver (01/01/2020 at 00:00):100:1(2):1:2(1:1,1:1)\n"
+                       "1:garbage\n")
+        with pytest.raises(SystemExit, match="not a valid Paraver trace"):
+            main(["inspect", str(bad)])
+
+
+class TestTelemetry:
+    def test_run_with_bare_flag_prints_summary(self, source_file, capsys):
+        assert main(["run", source_file, "--arg", "n=32",
+                     "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "toolchain telemetry summary" in out
+        assert "frontend" in out
+        assert "sim" in out
+
+    def test_trace_writes_jsonl_and_stats_reads_it(self, source_file,
+                                                   tmp_path, capsys):
+        metrics = str(tmp_path / "m.jsonl")
+        assert main(["trace", source_file, "--arg", "n=32",
+                     "-o", str(tmp_path / "t"),
+                     "--telemetry", metrics]) == 0
+        capsys.readouterr()
+        assert main(["stats", metrics]) == 0
+        out = capsys.readouterr().out
+        for phase in ("frontend", "hls", "sim", "paraver"):
+            assert phase in out
+        assert "counter" in out
+
+    def test_chrome_format_produces_loadable_trace(self, source_file,
+                                                   tmp_path):
+        import json
+
+        out_path = str(tmp_path / "chrome.json")
+        assert main(["trace", source_file, "--arg", "n=32",
+                     "-o", str(tmp_path / "t"),
+                     "--telemetry", out_path,
+                     "--telemetry-format", "chrome"]) == 0
+        with open(out_path) as handle:
+            payload = json.load(handle)
+        names = {e["name"] for e in payload["traceEvents"]
+                 if e["ph"] == "X"}
+        assert {"frontend", "hls", "sim", "paraver"} <= names
+        ts = [e["ts"] for e in payload["traceEvents"]]
+        assert ts == sorted(ts)
+
+    def test_stats_missing_file_clean_error(self):
+        with pytest.raises(SystemExit, match="cannot read metrics"):
+            main(["stats", "/nonexistent/m.jsonl"])
+
+    def test_stats_garbled_file_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        with pytest.raises(SystemExit, match="not a telemetry metrics"):
+            main(["stats", str(bad)])
+
+    def test_demo_with_telemetry_file(self, tmp_path, capsys):
+        metrics = str(tmp_path / "demo.jsonl")
+        assert main(["demo", "pi", "--steps", "8000",
+                     "--telemetry", metrics]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry written" in out
+        import os
+        assert os.path.getsize(metrics) > 0
+
 
 class TestDemo:
     def test_pi_demo(self, capsys):

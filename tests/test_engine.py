@@ -172,6 +172,73 @@ def test_done_event_fires_on_completion():
     assert process.done.triggered
 
 
+def test_event_repr_safe_before_and_after_trigger():
+    engine = Engine()
+    event = Event("go")
+    assert repr(event) == "Event(go, pending, waiters=0)"
+
+    def waiter():
+        yield event
+
+    engine.spawn(waiter())
+    engine.run(until=0)
+    assert "waiters=1" in repr(event)
+    event.set(engine)
+    assert repr(event) == "Event(go, fired)"
+    anonymous = Event()
+    assert "pending" in repr(anonymous)  # unnamed events are safe too
+
+
+def test_process_repr():
+    engine = Engine()
+
+    def proc():
+        yield 1
+
+    process = engine.spawn(proc(), name="worker")
+    assert repr(process) == "Process(worker, running)"
+    engine.run()
+    assert repr(process) == "Process(worker, done)"
+
+
+def test_stats_counts_events_and_processes():
+    engine = Engine()
+
+    def proc(delay):
+        yield delay
+        yield delay
+
+    engine.spawn(proc(2))
+    engine.spawn(proc(3))
+    stats = engine.stats()
+    assert stats["processes_spawned"] == 2
+    assert stats["queue_length"] == 2
+    assert stats["heap_peak"] == 2
+    assert stats["events_fired"] == 0
+
+    engine.run()
+    stats = engine.stats()
+    assert stats["now"] == 6
+    assert stats["queue_length"] == 0
+    assert stats["active_processes"] == 0
+    # each process dispatches 3 times: start, after 1st yield, completion
+    assert stats["events_fired"] == 6
+    assert stats["processes_spawned"] == 2
+
+
+def test_stats_queue_length_respects_horizon():
+    engine = Engine()
+
+    def proc():
+        yield 100
+
+    engine.spawn(proc())
+    engine.run(until=30)
+    stats = engine.stats()
+    assert stats["now"] == 30
+    assert stats["queue_length"] == 1  # the pending wakeup at t=100
+
+
 def test_all_of_helper():
     engine = Engine()
     trace = []
