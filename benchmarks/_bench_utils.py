@@ -102,6 +102,11 @@ def report(experiment: str, lines: list[str]) -> None:
     Appends the toolchain-telemetry per-phase breakdown of every run
     instrumented so far, so each results file records not only what the
     simulated hardware did but what the toolchain spent producing it.
+    Next to the text table it writes ``<experiment>.report.json`` — the
+    full :mod:`repro.report` analysis (efficiency hierarchy, state and
+    phase attribution, diagnosis) of every cached run the experiment
+    drew from, so the benchmark trajectory carries machine-readable
+    performance reports.
     """
 
     text = "\n".join(list(lines) + telemetry_lines())
@@ -109,3 +114,16 @@ def report(experiment: str, lines: list[str]) -> None:
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as out:
         out.write(text + "\n")
+    _write_report_json(experiment)
+
+
+def _write_report_json(experiment: str) -> None:
+    from repro.report import reports_to_json
+
+    reports = [run.report() for _, run in sorted(_GEMM_CACHE.items())]
+    reports += [run.report() for _, run in sorted(_PI_CACHE.items())]
+    if not reports:
+        return
+    path = os.path.join(RESULTS_DIR, f"{experiment}.report.json")
+    with open(path, "w") as out:
+        out.write(reports_to_json(reports) + "\n")

@@ -5,7 +5,10 @@ Simulates all five GEMM versions, prints the speedup chain the paper
 reports (1x -> 1.14x -> ... -> 19x on real hardware), renders the
 Fig. 6-style state view of the naive version, the Fig. 7-style relative
 bandwidth comparison, and the Fig. 8/9 load-vs-compute phase pictures
-for the blocked and double-buffered versions.
+for the blocked and double-buffered versions.  It then writes the whole
+journey as a self-contained HTML report (the regenerable equivalent of
+the paper's screenshots) plus the naive version's Paraver trace, which
+``repro analyze gemm_naive_trace.prv`` re-analyzes without a simulator.
 
 Run:  python examples/gemm_optimization_journey.py [DIM]
 """
@@ -20,6 +23,7 @@ from repro.paraver import (
     render_state_timeline, write_trace,
 )
 from repro.profiling import ThreadState
+from repro.report import render_comparison_text, write_html
 
 PAPER_SPEEDUPS = {"naive": 1.0, "no_critical": 1.14, "vectorized": 2.2,
                   "blocked": 5.28, "double_buffered": 19.0}
@@ -82,8 +86,20 @@ def main(dim: int = 64) -> None:
 
     print("--- automatic diagnosis of the naive version ---")
     print(diagnose(naive))
-    files = write_trace(naive.trace, "gemm_naive_trace")
+    files = write_trace(naive.trace, "gemm_naive_trace",
+                        clock_mhz=naive.clock_mhz)
     print(f"\nParaver trace of the naive version written to {files.prv}")
+
+    # ------------------------------------------------------------------
+    reports = [run.report(label=version)
+               for version, run in runs.items()]
+    print("\n--- efficiency hierarchy across the journey "
+          "(parallel = balance x sync x transfer) ---")
+    print(render_comparison_text(reports), end="")
+    write_html(reports, "gemm_journey_report.html",
+               title=f"GEMM optimization journey, DIM={dim}")
+    print("\nHTML report written to gemm_journey_report.html "
+          "(self-contained, open in any browser)")
 
 
 if __name__ == "__main__":

@@ -74,17 +74,33 @@ def diagnose(result: SimResult, peak_bandwidth_gbs: Optional[float] = None,
 
     # Temporal balance: even equal-duration threads are imbalanced when
     # staggered starts keep them from overlapping (the π case study's
-    # startup-overhead signature, Figs. 11-13).
+    # startup-overhead signature, Figs. 11-13).  Threads that never left
+    # IDLE report a (0, 0) span and must not drag the union back to
+    # cycle 0; disjoint activity makes the common window negative, so
+    # the ratio is clamped to [0, 1].
     spans = thread_activity_windows(trace)
-    union = spans[:, 1].max() - spans[:, 0].min()
-    common = spans[:, 1].min() - spans[:, 0].max()
-    temporal = common / union if union > 0 else 1.0
+    active_spans = spans[spans[:, 1] > spans[:, 0]]
+    if active_spans.size:
+        union = active_spans[:, 1].max() - active_spans[:, 0].min()
+        common = active_spans[:, 1].min() - active_spans[:, 0].max()
+        temporal = min(1.0, max(0.0, common / union)) if union > 0 else 1.0
+    else:
+        temporal = 1.0
     metrics["temporal_overlap"] = float(temporal)
 
     bandwidth = result.bandwidth_gbs()
     metrics["bandwidth_gbs"] = bandwidth
     metrics["gflops"] = total_gflops(trace, result.clock_mhz)
 
+    # The profiling config may omit counters (§IV-B.2 event selection);
+    # degrade to the findings the remaining data supports.
+    missing = [kind.value for kind in
+               (EventKind.MEM_READ_BYTES, EventKind.FLOPS)
+               if kind not in trace.events]
+    if missing:
+        findings.append(
+            f"counters not recorded: {', '.join(missing)} — phase and "
+            "bandwidth findings skipped")
     phases = phase_overlap(trace, result.clock_mhz)
     metrics["phase_overlap"] = phases.overlap_fraction
 
@@ -113,7 +129,7 @@ def diagnose(result: SimResult, peak_bandwidth_gbs: Optional[float] = None,
             "wider (vector) accesses or preloading into local memory")
         return Diagnosis(Bottleneck.MEMORY_LATENCY, findings, metrics)
 
-    if phases.load_windows > 0 and phases.compute_windows > 0 \
+    if not missing and phases.load_windows > 0 and phases.compute_windows > 0 \
             and phases.overlap_fraction < overlap_low:
         findings.append(
             "distinct load and compute phases with almost no overlap — "

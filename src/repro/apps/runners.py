@@ -40,6 +40,13 @@ class GemmRun:
     def cycles(self) -> int:
         return self.result.cycles
 
+    def report(self, label: Optional[str] = None, peaks=None):
+        """Trace report of this run (see :mod:`repro.report`)."""
+
+        from ..report import build_report
+        return build_report(self.result, label=label or
+                            f"gemm-{self.version}", peaks=peaks)
+
     @property
     def correct(self) -> bool:
         """Does C match its expected value?
@@ -116,6 +123,13 @@ class PiRun:
     @property
     def error(self) -> float:
         return abs(self.value - float(np.pi))
+
+    def report(self, label: Optional[str] = None, peaks=None):
+        """Trace report of this run (see :mod:`repro.report`)."""
+
+        from ..report import build_report
+        return build_report(self.result, label=label or
+                            f"pi-{self.steps}", peaks=peaks)
 
 
 def run_pi(steps: int, num_threads: int = 8, bs_compute: int = 8,

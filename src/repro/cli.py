@@ -10,7 +10,16 @@ Mirrors how a user of the paper's flow would drive it:
   trace for visualization;
 * ``inspect``  — summarize an existing .prv trace (state histogram and
   event totals);
+* ``analyze``  — full trace-native analysis of a saved .prv: the trace
+  is reconstructed into a RunTrace (no simulator run needed) and
+  reported with the POP-style efficiency hierarchy, state/phase
+  attribution, bandwidth/GFLOP-s against platform peaks and the
+  bottleneck diagnosis; ``--html``/``--json`` write report files;
+* ``compare``  — the same analysis over several .prv traces with a
+  baseline-relative delta table (the paper's five-GEMM journey, §VI);
 * ``demo``     — run one of the paper's case studies (gemm / pi);
+  ``--trace-dir`` saves each run's Paraver trace, ``--html`` writes the
+  comparison report;
 * ``stats``    — pretty-print a telemetry JSONL metrics file.
 
 Synthetic arguments: scalar kernel parameters can be set with
@@ -98,12 +107,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_inspect = sub.add_parser("inspect", help="summarize a .prv trace")
     p_inspect.add_argument("trace", help="path to a .prv file")
 
+    def add_report_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--html", metavar="PATH",
+                       help="write a self-contained HTML report")
+        p.add_argument("--json", metavar="PATH",
+                       help="write the report as JSON")
+        p.add_argument("--peak-bw", type=float, default=76.8,
+                       metavar="GBS",
+                       help="platform peak bandwidth in GB/s "
+                            "(default: 76.8, the D5005's four DDR4 banks)")
+        p.add_argument("--peak-gflops", type=float, default=None,
+                       help="platform peak GFLOP/s (optional)")
+        p.add_argument("--clock-mhz", type=float, default=None,
+                       help="accelerator clock for cycle→time conversion "
+                            "(default: the trace's .pcf metadata, else 140)")
+
+    p_analyze = sub.add_parser(
+        "analyze", help="trace-native analysis of a saved .prv")
+    p_analyze.add_argument("trace", help="path to a .prv file")
+    p_analyze.add_argument("--label", default=None,
+                           help="report label (default: file name)")
+    add_report_args(p_analyze)
+
+    p_compare = sub.add_parser(
+        "compare", help="compare several saved .prv traces")
+    p_compare.add_argument("traces", nargs="+",
+                           help=".prv files; the first is the baseline")
+    p_compare.add_argument("--labels", default=None,
+                           help="comma-separated labels, one per trace")
+    add_report_args(p_compare)
+
     p_demo = sub.add_parser("demo", help="run a paper case study")
     p_demo.add_argument("study", choices=["gemm", "pi"])
     p_demo.add_argument("--dim", type=int, default=64,
                         help="matrix dimension (gemm)")
     p_demo.add_argument("--steps", type=int, default=128000,
                         help="series iterations (pi)")
+    p_demo.add_argument("--trace-dir", metavar="DIR", default=None,
+                        help="write each run's Paraver trace into DIR")
+    p_demo.add_argument("--html", metavar="PATH", default=None,
+                        help="write the runs' comparison report as HTML")
     add_telemetry_args(p_demo)
 
     p_stats = sub.add_parser(
@@ -206,6 +249,67 @@ def _print_run_summary(result) -> None:
     print(diagnose(result))
 
 
+def _write_demo_trace(result, trace_dir: str, name: str) -> None:
+    import os
+
+    os.makedirs(trace_dir, exist_ok=True)
+    files = write_trace(result.trace, os.path.join(trace_dir, name),
+                        clock_mhz=result.clock_mhz)
+    print(f"  trace written: {files.prv}")
+
+
+def _load_report(path: str, label, clock_mhz, peaks):
+    """report_from_prv with the CLI's error style."""
+
+    from .paraver.parser import ParaverParseError
+    from .report import report_from_prv
+    try:
+        return report_from_prv(path, label=label, clock_mhz=clock_mhz,
+                               peaks=peaks)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {path!r}: "
+                         f"{exc.strerror or exc}") from exc
+    except (ParaverParseError, ValueError) as exc:
+        raise SystemExit(
+            f"{path!r} is not a valid Paraver trace: {exc}") from exc
+
+
+def _report_command(args: argparse.Namespace) -> int:
+    from .report import (
+        PlatformPeaks, render_comparison_text, render_report_text,
+        write_html, write_json,
+    )
+    peaks = PlatformPeaks(bandwidth_gbs=args.peak_bw,
+                          gflops=args.peak_gflops)
+    if args.command == "analyze":
+        paths, labels = [args.trace], [args.label]
+    else:
+        paths = args.traces
+        labels = [None] * len(paths)
+        if args.labels:
+            named = [lab.strip() for lab in args.labels.split(",")]
+            if len(named) != len(paths):
+                raise SystemExit(
+                    f"--labels names {len(named)} traces but "
+                    f"{len(paths)} were given")
+            labels = named
+    reports = [_load_report(path, label, args.clock_mhz, peaks)
+               for path, label in zip(paths, labels)]
+    if len(reports) == 1:
+        print(render_report_text(reports[0]), end="")
+    else:
+        print(render_comparison_text(reports), end="")
+    if args.html:
+        title = "Trace comparison" if len(reports) > 1 \
+            else f"Trace analysis: {reports[0].label}"
+        write_html(reports, args.html, title=title)
+        print(f"\nHTML report written: {args.html}")
+    if args.json:
+        write_json(reports, args.json)
+        print(f"JSON report written: {args.json}")
+    return 0
+
+
 def _export_telemetry(args: argparse.Namespace) -> None:
     """Write/print the session's telemetry per the --telemetry flags."""
 
@@ -248,7 +352,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             print(f"return value: {outcome.value}")
         _print_run_summary(outcome.sim)
         if args.command == "trace":
-            files = write_trace(outcome.sim.trace, args.output)
+            files = write_trace(outcome.sim.trace, args.output,
+                                clock_mhz=outcome.sim.clock_mhz)
             print(f"\nParaver trace written: {files.prv} / {files.pcf} / "
                   f"{files.row}")
         return 0
@@ -284,7 +389,12 @@ def _dispatch(args: argparse.Namespace) -> int:
                 print(f"  {type_id}: {value}")
         return 0
 
+    if args.command in ("analyze", "compare"):
+        return _report_command(args)
+
     if args.command == "demo":
+        from .report import build_report, write_html
+        reports = []
         if args.study == "gemm":
             from .apps import run_gemm
             from .apps.gemm import GEMM_VERSIONS
@@ -294,12 +404,24 @@ def _dispatch(args: argparse.Namespace) -> int:
                 base = base or run.cycles
                 print(f"{version:18s} {run.cycles:10d} cycles  "
                       f"{base / run.cycles:6.2f}x  correct={run.correct}")
+                if args.trace_dir or args.html:
+                    reports.append(build_report(run.result, label=version))
+                if args.trace_dir:
+                    _write_demo_trace(run.result, args.trace_dir, version)
         else:
             from .apps import run_pi
             run = run_pi(args.steps)
             print(f"pi({args.steps}) = {run.value:.7f} "
                   f"(error {run.error:.2e}) in {run.cycles} cycles, "
                   f"{run.gflops:.3f} GFLOP/s")
+            if args.trace_dir or args.html:
+                reports.append(build_report(run.result, label="pi"))
+            if args.trace_dir:
+                _write_demo_trace(run.result, args.trace_dir, "pi")
+        if args.html:
+            write_html(reports, args.html,
+                       title=f"repro demo {args.study}")
+            print(f"HTML report written: {args.html}")
         return 0
 
     if args.command == "stats":

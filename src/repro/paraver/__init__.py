@@ -12,9 +12,16 @@ from .analysis import (
 from .format import (
     CommRecord, EVENT_TYPE_IDS, STATE_IDS, ParaverFiles, write_trace,
 )
+from .metadata import (
+    PcfInfo, RowInfo, companion_paths, parse_pcf, parse_row,
+)
 from .parser import (
     ParaverParseError, ParsedComm, ParsedEvent, ParsedState, ParsedTrace,
     parse_prv,
+)
+from .reconstruct import (
+    ReconstructedRun, reconstruct_run, reconstruct_trace,
+    recover_sampling_period,
 )
 from .render import STATE_GLYPHS, render_series, render_state_timeline
 
@@ -24,7 +31,10 @@ __all__ = [
     "total_gflops",
     "CommRecord", "EVENT_TYPE_IDS", "STATE_IDS", "ParaverFiles",
     "write_trace",
+    "PcfInfo", "RowInfo", "companion_paths", "parse_pcf", "parse_row",
     "ParaverParseError", "ParsedComm", "ParsedEvent", "ParsedState",
     "ParsedTrace", "parse_prv",
+    "ReconstructedRun", "reconstruct_run", "reconstruct_trace",
+    "recover_sampling_period",
     "STATE_GLYPHS", "render_series", "render_state_timeline",
 ]

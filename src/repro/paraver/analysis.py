@@ -127,10 +127,21 @@ def phase_overlap(trace: RunTrace, clock_mhz: float,
     ``bw_threshold`` times the trace's peak, as *computing* when its FLOP
     rate exceeds ``flops_threshold`` times the peak, and as *overlapping*
     when both hold.
+
+    Profiling configs may omit either counter (§IV-B.2's event selection
+    is user-adjustable); a missing series classifies every window as
+    not-loading / not-computing rather than raising.
     """
 
-    reads = trace.events[EventKind.MEM_READ_BYTES].sum(axis=1)
-    flops = trace.events[EventKind.FLOPS].sum(axis=1)
+    read_series = trace.events.get(EventKind.MEM_READ_BYTES)
+    flop_series = trace.events.get(EventKind.FLOPS)
+    n_bins = read_series.shape[0] if read_series is not None \
+        else flop_series.shape[0] if flop_series is not None \
+        else max(1, -(-max(1, trace.end_cycle) // trace.sampling_period))
+    reads = read_series.sum(axis=1) if read_series is not None \
+        else np.zeros(n_bins)
+    flops = flop_series.sum(axis=1) if flop_series is not None \
+        else np.zeros(n_bins)
     peak_reads = reads.max() if reads.size else 0.0
     peak_flops = flops.max() if flops.size else 0.0
     loading = reads > bw_threshold * peak_reads if peak_reads else \

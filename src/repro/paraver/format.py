@@ -91,11 +91,15 @@ class ParaverFiles:
 
 def write_trace(trace: RunTrace, path: str,
                 application: str = "accelerator",
-                comms: Optional[list[CommRecord]] = None) -> ParaverFiles:
+                comms: Optional[list[CommRecord]] = None,
+                clock_mhz: Optional[float] = None) -> ParaverFiles:
     """Write ``trace`` as ``path``.prv/.pcf/.row; returns the file paths.
 
     ``comms`` optionally adds communication records (type 3) for
-    multi-accelerator extensions.
+    multi-accelerator extensions.  ``clock_mhz``, when given, is stashed
+    as a ``# REPRO_CLOCK_MHZ`` comment in the ``.pcf`` so trace-native
+    analysis (``repro analyze``) can convert cycles to seconds without
+    re-running the compiler.
     """
 
     base, ext = os.path.splitext(path)
@@ -109,7 +113,7 @@ def write_trace(trace: RunTrace, path: str,
 
     with telemetry.span("paraver", category="paraver", prv=path_prv):
         records = _write_prv(trace, path_prv, application, comms or [])
-        _write_pcf(trace, path_pcf)
+        _write_pcf(trace, path_pcf, clock_mhz)
         _write_row(trace, path_row)
     telemetry.add("paraver.records", records)
     telemetry.add("paraver.bytes",
@@ -166,8 +170,14 @@ def _write_prv(trace: RunTrace, path: str, application: str,
     return len(records)
 
 
-def _write_pcf(trace: RunTrace, path: str) -> None:
+def _write_pcf(trace: RunTrace, path: str,
+               clock_mhz: Optional[float] = None) -> None:
     with open(path, "w") as out:
+        # Paraver has no field for these; it ignores comment lines, and
+        # repro.paraver.metadata.parse_pcf reads them back.
+        out.write(f"# REPRO_SAMPLING_PERIOD {trace.sampling_period}\n")
+        if clock_mhz is not None:
+            out.write(f"# REPRO_CLOCK_MHZ {clock_mhz:g}\n")
         out.write("DEFAULT_OPTIONS\n\nLEVEL               THREAD\n"
                   "UNITS               NANOSEC\n\n")
         out.write("STATES\n")

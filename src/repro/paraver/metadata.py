@@ -1,0 +1,155 @@
+"""Parsers for the Paraver companion files (``.pcf`` / ``.row``).
+
+A ``.prv`` trace carries only numeric state / event ids; the semantic
+configuration file (``.pcf``) maps them to names and colors and the row
+file (``.row``) names the timeline rows.  Reconstruction
+(:mod:`repro.paraver.reconstruct`) and the report exporters
+(:mod:`repro.report`) read them to label threads, states and event
+types exactly as Paraver itself would.
+
+Our writer additionally stashes toolchain metadata the Paraver format
+has no field for — the accelerator clock and the profiling unit's
+sampling period — as ``# REPRO_*`` comment lines, which Paraver
+ignores but :func:`parse_pcf` recovers.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["PcfInfo", "RowInfo", "parse_pcf", "parse_row",
+           "companion_paths"]
+
+
+@dataclass
+class PcfInfo:
+    """Semantic information recovered from a ``.pcf`` file."""
+
+    #: state id -> display name (e.g. 1 -> "Running")
+    state_names: dict[int, str] = field(default_factory=dict)
+    #: state id -> (r, g, b)
+    state_colors: dict[int, tuple[int, int, int]] = field(default_factory=dict)
+    #: event type id -> label
+    event_labels: dict[int, str] = field(default_factory=dict)
+    #: accelerator clock recovered from REPRO_CLOCK_MHZ, if present
+    clock_mhz: Optional[float] = None
+    #: profiling sampling period recovered from REPRO_SAMPLING_PERIOD
+    sampling_period: Optional[int] = None
+
+
+@dataclass
+class RowInfo:
+    """Row labels recovered from a ``.row`` file, per object level."""
+
+    #: level name (upper-cased, e.g. "CPU", "NODE", "THREAD") -> labels
+    levels: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def thread_names(self) -> list[str]:
+        """Best label set for the per-thread timeline rows.
+
+        Our writer puts the human-readable names ("HW thread 0") at the
+        CPU level and synthetic ids at the THREAD level, so CPU wins.
+        """
+
+        return self.levels.get("CPU") or self.levels.get("THREAD") or []
+
+
+def companion_paths(prv_path: str) -> tuple[str, str]:
+    """The ``.pcf`` and ``.row`` paths conventionally next to a ``.prv``."""
+
+    base, _ = os.path.splitext(prv_path)
+    return base + ".pcf", base + ".row"
+
+
+def parse_pcf(path: str) -> PcfInfo:
+    """Parse the subset of a ``.pcf`` file our tooling understands.
+
+    Unknown sections are skipped, so files written by other tools (or
+    newer versions of this one) parse without error.
+    """
+
+    info = PcfInfo()
+    section = None
+    pending_event_types: list[int] = []
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                _parse_metadata_comment(line, info)
+                continue
+            upper = line.upper()
+            if upper.startswith(("DEFAULT_OPTIONS", "DEFAULT_SEMANTIC",
+                                 "STATES_COLOR", "STATES", "EVENT_TYPE",
+                                 "VALUES", "GRADIENT")):
+                section = upper.split()[0]
+                if section == "EVENT_TYPE":
+                    pending_event_types = []
+                continue
+            if section == "STATES":
+                parts = line.split(None, 1)
+                if len(parts) == 2 and parts[0].isdigit():
+                    info.state_names[int(parts[0])] = parts[1].strip()
+            elif section == "STATES_COLOR":
+                parts = line.split(None, 1)
+                if len(parts) == 2 and parts[0].isdigit():
+                    rgb = parts[1].strip().strip("{}").split(",")
+                    if len(rgb) == 3:
+                        try:
+                            info.state_colors[int(parts[0])] = (
+                                int(rgb[0]), int(rgb[1]), int(rgb[2]))
+                        except ValueError:
+                            pass
+            elif section == "EVENT_TYPE":
+                # "gradient  type  label" (gradient column optional)
+                parts = line.split(None, 2)
+                if len(parts) >= 2 and parts[0].lstrip("-").isdigit() \
+                        and parts[1].isdigit():
+                    type_id = int(parts[1])
+                    label = parts[2].strip() if len(parts) == 3 else ""
+                    info.event_labels[type_id] = label
+                    pending_event_types.append(type_id)
+    return info
+
+
+def _parse_metadata_comment(line: str, info: PcfInfo) -> None:
+    parts = line.lstrip("#").split()
+    if len(parts) != 2:
+        return
+    key, value = parts
+    try:
+        if key == "REPRO_CLOCK_MHZ":
+            info.clock_mhz = float(value)
+        elif key == "REPRO_SAMPLING_PERIOD":
+            info.sampling_period = int(value)
+    except ValueError:
+        pass
+
+
+def parse_row(path: str) -> RowInfo:
+    """Parse a ``.row`` file into its per-level label lists."""
+
+    info = RowInfo()
+    with open(path) as handle:
+        lines = [line.rstrip("\n") for line in handle]
+    i = 0
+    while i < len(lines):
+        line = lines[i].strip()
+        parts = line.split()
+        # "LEVEL <name> SIZE <n>"
+        if len(parts) >= 4 and parts[0].upper() == "LEVEL" \
+                and parts[-2].upper() == "SIZE" and parts[-1].isdigit():
+            level = " ".join(parts[1:-2]).upper()
+            count = int(parts[-1])
+            labels = [lines[j].strip() for j in range(i + 1,
+                                                      min(i + 1 + count,
+                                                          len(lines)))]
+            info.levels[level] = labels
+            i += 1 + count
+        else:
+            i += 1
+    return info

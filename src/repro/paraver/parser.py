@@ -89,9 +89,14 @@ def parse_prv(path: str) -> ParsedTrace:
             try:
                 kind = int(fields[0])
                 if kind == 1:
+                    begin, end = int(fields[5]), int(fields[6])
+                    if end < begin:
+                        raise ValueError(
+                            f"state record ends before it begins "
+                            f"({end} < {begin})")
                     trace.states.append(ParsedState(
                         cpu=int(fields[1]), task=int(fields[3]),
-                        begin=int(fields[5]), end=int(fields[6]),
+                        begin=begin, end=end,
                         state=int(fields[7])))
                 elif kind == 2:
                     cpu, _appl, task, _thread = (int(fields[1]), int(fields[2]),
@@ -125,9 +130,7 @@ def _parse_header(header: str) -> tuple[int, int]:
         after = header.split("):", 1)[1]
         parts = after.split(":")
         end_time = int(parts[0])
-        napps_idx = 2
         ntasks = int(parts[3].split("(")[0])
-        _ = napps_idx
         return end_time, ntasks
     except (IndexError, ValueError) as exc:
         raise ParaverParseError(f"malformed header: {header!r}") from exc

@@ -1,0 +1,237 @@
+"""Reconstruct a full :class:`RunTrace` from a saved Paraver trace.
+
+The inverse of :mod:`repro.paraver.format`: where the writer flattens
+the recorder's in-memory :class:`~repro.profiling.recorder.RunTrace`
+into ``.prv`` records, this module folds parsed records back into the
+same structure — per-thread state intervals covering ``[0, end_cycle]``
+and ``[bins, threads]`` event arrays — so *every* metric in
+:mod:`repro.paraver.analysis` and the bottleneck classifier in
+:mod:`repro.analysis.bottlenecks` runs on a trace file exactly as it
+would on a live simulation result.  This is what lets the paper's
+workflow — save a trace, study it later, compare five saved versions
+side by side (§V-C/§VI) — work without re-running the simulator.
+
+Two things the ``.prv`` body does not carry are recovered separately:
+
+* the **sampling period** comes from the ``.pcf`` metadata our writer
+  stashes, or failing that from the cadence of the event records (their
+  timestamps are multiples of the period, so the GCD of the unclamped
+  flush times recovers it);
+* the **accelerator clock** comes from the ``.pcf`` metadata, an
+  explicit argument, or the board default (140 MHz).
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from ..profiling.config import EventKind, ProfilingConfig, ThreadState
+from ..profiling.recorder import RunTrace, StateInterval
+from ..sim.executor import SimResult
+from .format import EVENT_TYPE_IDS
+from .metadata import PcfInfo, RowInfo, companion_paths, parse_pcf, parse_row
+from .parser import ParsedTrace, parse_prv
+
+__all__ = ["ReconstructedRun", "reconstruct_trace", "reconstruct_run",
+           "recover_sampling_period"]
+
+#: inverse of the writer's event-type table
+_EVENT_KINDS = {type_id: kind for kind, type_id in EVENT_TYPE_IDS.items()}
+
+_DEFAULT_CLOCK_MHZ = 140.0
+
+
+@dataclass
+class ReconstructedRun:
+    """A saved trace rebuilt into simulator-equivalent objects.
+
+    ``result`` is a genuine :class:`~repro.sim.executor.SimResult`
+    (buffers empty, DRAM geometry counters zero — the trace does not
+    record them), so ``diagnose(run.result)`` and every ``SimResult``
+    consumer work unchanged.
+    """
+
+    result: SimResult
+    source: str
+    #: where the clock came from: "explicit" | "pcf" | "default"
+    clock_source: str
+    #: where the period came from: "explicit" | "pcf" | "cadence" | "default"
+    period_source: str
+    thread_names: list[str] = field(default_factory=list)
+    #: event type ids present in the .prv but unknown to this toolchain,
+    #: mapped to their record counts
+    unknown_event_types: dict[int, int] = field(default_factory=dict)
+    pcf: Optional[PcfInfo] = None
+    row: Optional[RowInfo] = None
+
+    @property
+    def trace(self) -> RunTrace:
+        return self.result.trace
+
+
+def recover_sampling_period(parsed: ParsedTrace) -> Optional[int]:
+    """Infer the sampling period from event-record cadence.
+
+    The writer stamps each counter flush at its window's *end*,
+    ``(bin + 1) * period`` (clamped to the trace end), so every
+    unclamped flush time is a positive multiple of the period and their
+    GCD recovers it.  Returns ``None`` when the trace has no usable
+    event records (the cadence is then unknowable).
+    """
+
+    times = {e.time for e in parsed.events
+             if 0 < e.time < parsed.end_time}
+    # an event exactly at end_time is unclamped only if it is also the
+    # window boundary; including it can only leave the GCD unchanged or
+    # wrong, so prefer interior times and fall back to the end time.
+    if not times:
+        times = {e.time for e in parsed.events if e.time > 0}
+    if not times:
+        return None
+    return math.gcd(*times) if len(times) > 1 else times.pop()
+
+
+def _fill_idle_gaps(thread: int, intervals: list[StateInterval],
+                    end_cycle: int) -> list[StateInterval]:
+    """Cover [0, end_cycle] completely, padding gaps with IDLE."""
+
+    covered: list[StateInterval] = []
+    cursor = 0
+    for interval in intervals:
+        if interval.start > cursor:
+            covered.append(StateInterval(thread, ThreadState.IDLE,
+                                         cursor, interval.start))
+        covered.append(interval)
+        cursor = max(cursor, interval.end)
+    if cursor < end_cycle:
+        covered.append(StateInterval(thread, ThreadState.IDLE,
+                                     cursor, end_cycle))
+    return covered
+
+
+def reconstruct_trace(parsed: ParsedTrace,
+                      sampling_period: Optional[int] = None,
+                      pcf: Optional[PcfInfo] = None
+                      ) -> tuple[RunTrace, str, dict[int, int]]:
+    """Rebuild a :class:`RunTrace` from parsed ``.prv`` records.
+
+    Returns ``(trace, period_source, unknown_event_types)``; see
+    :class:`ReconstructedRun` for the source vocabulary.
+    """
+
+    end_cycle = parsed.end_time
+    num_threads = parsed.num_tasks
+
+    if sampling_period is not None:
+        period, period_source = sampling_period, "explicit"
+    elif pcf is not None and pcf.sampling_period:
+        period, period_source = pcf.sampling_period, "pcf"
+    else:
+        cadence = recover_sampling_period(parsed)
+        if cadence is not None:
+            period, period_source = cadence, "cadence"
+        else:
+            period, period_source = ProfilingConfig().sampling_period, \
+                "default"
+
+    # -- states: tasks are 1-based in the .prv, threads 0-based here
+    per_thread: list[list[StateInterval]] = [[] for _ in range(num_threads)]
+    for record in parsed.states:
+        thread = record.task - 1
+        if not 0 <= thread < num_threads:
+            continue
+        per_thread[thread].append(StateInterval(
+            thread, ThreadState(record.state), record.begin, record.end))
+    states = []
+    for thread in range(num_threads):
+        intervals = sorted(per_thread[thread],
+                           key=lambda iv: (iv.start, iv.end))
+        states.append(_fill_idle_gaps(thread, intervals, end_cycle))
+
+    # -- events: flush times map back to bins; the final window absorbs
+    #    clamped stamps exactly as ProfilingRecorder.finalize did
+    n_bins = max(1, -(-max(1, end_cycle) // period))
+    events: dict[EventKind, np.ndarray] = {}
+    unknown: dict[int, int] = {}
+    for record in parsed.events:
+        kind = _EVENT_KINDS.get(record.type)
+        if kind is None:
+            unknown[record.type] = unknown.get(record.type, 0) + 1
+            continue
+        series = events.get(kind)
+        if series is None:
+            series = events[kind] = np.zeros((n_bins, num_threads))
+        if record.time > 0 and record.time % period == 0:
+            b = record.time // period - 1
+        else:
+            b = record.time // period
+        b = min(max(b, 0), n_bins - 1)
+        thread = record.task - 1
+        if 0 <= thread < num_threads:
+            series[b, thread] += record.value
+
+    trace = RunTrace(num_threads, end_cycle, period, states, events)
+    return trace, period_source, unknown
+
+
+def reconstruct_run(source: Union[str, ParsedTrace],
+                    clock_mhz: Optional[float] = None,
+                    sampling_period: Optional[int] = None
+                    ) -> ReconstructedRun:
+    """Load a ``.prv`` (with its companions, when present) end to end.
+
+    ``source`` is a ``.prv`` path or an already-parsed trace.  The
+    per-thread stall totals of the returned ``SimResult`` come from the
+    ``STALLS`` event series; DRAM byte totals from the memory counters.
+    """
+
+    pcf = row = None
+    if isinstance(source, str):
+        parsed = parse_prv(source)
+        path = source
+        pcf_path, row_path = companion_paths(path)
+        if os.path.exists(pcf_path):
+            pcf = parse_pcf(pcf_path)
+        if os.path.exists(row_path):
+            row = parse_row(row_path)
+    else:
+        parsed, path = source, "<memory>"
+
+    trace, period_source, unknown = reconstruct_trace(
+        parsed, sampling_period=sampling_period, pcf=pcf)
+
+    if clock_mhz is not None:
+        clock, clock_source = clock_mhz, "explicit"
+    elif pcf is not None and pcf.clock_mhz:
+        clock, clock_source = pcf.clock_mhz, "pcf"
+    else:
+        clock, clock_source = _DEFAULT_CLOCK_MHZ, "default"
+
+    stall_series = trace.events.get(EventKind.STALLS)
+    if stall_series is not None:
+        stalls = [int(round(v)) for v in stall_series.sum(axis=0)]
+    else:
+        stalls = [0] * trace.num_threads
+
+    def _total(kind: EventKind) -> int:
+        series = trace.events.get(kind)
+        return int(series.sum()) if series is not None else 0
+
+    result = SimResult(
+        cycles=trace.end_cycle, clock_mhz=clock, trace=trace, buffers={},
+        stalls=stalls,
+        dram_bytes_read=_total(EventKind.MEM_READ_BYTES),
+        dram_bytes_written=_total(EventKind.MEM_WRITE_BYTES),
+        dram_requests=0, dram_row_misses=0)
+
+    thread_names = row.thread_names if row is not None else []
+    if len(thread_names) != trace.num_threads:
+        thread_names = [f"HW thread {t}" for t in range(trace.num_threads)]
+    return ReconstructedRun(result, path, clock_source, period_source,
+                            thread_names=thread_names,
+                            unknown_event_types=unknown, pcf=pcf, row=row)

@@ -1,0 +1,117 @@
+"""Plain-text rendering of :class:`~repro.report.model.TraceReport`.
+
+The terminal equivalent of the HTML report: headline metrics, the
+efficiency hierarchy, state attribution with the ASCII state view, and
+the comparison table for multi-trace runs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..paraver.render import render_series, render_state_timeline
+from ..profiling.config import ThreadState
+from .model import TraceReport, comparison_rows
+
+__all__ = ["render_report_text", "render_comparison_text"]
+
+_STATE_ORDER = (ThreadState.RUNNING, ThreadState.CRITICAL,
+                ThreadState.SPINNING, ThreadState.IDLE)
+
+
+def _bar(fraction: float, width: int = 28) -> str:
+    filled = int(round(max(0.0, min(1.0, fraction)) * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def render_report_text(report: TraceReport, width: int = 72) -> str:
+    lines = [f"=== trace report: {report.label} ==="]
+    if report.source:
+        lines.append(f"source     : {report.source}")
+    lines.append(f"duration   : {report.cycles} cycles "
+                 f"({report.seconds * 1e6:.1f} us at "
+                 f"{report.clock_mhz:g} MHz)")
+    lines.append(f"threads    : {report.num_threads} "
+                 f"(sampling period {report.sampling_period} cycles)")
+    bw = f"bandwidth  : {report.bandwidth_gbs:.3f} GB/s avg, " \
+         f"{report.peak_window_bandwidth_gbs:.3f} GB/s peak window"
+    if report.bandwidth_peak_fraction is not None:
+        bw += f" ({100 * report.bandwidth_peak_fraction:.1f}% of " \
+              f"{report.peaks.bandwidth_gbs:g} GB/s platform peak)"
+    lines.append(bw)
+    fl = f"compute    : {report.gflops:.3f} GFLOP/s avg, " \
+         f"{report.peak_window_gflops:.3f} GFLOP/s peak window"
+    if report.gflops_peak_fraction is not None:
+        fl += f" ({100 * report.gflops_peak_fraction:.1f}% of " \
+              f"{report.peaks.gflops:g} GFLOP/s peak)"
+    lines.append(fl)
+    if report.missing_counters:
+        lines.append(f"missing    : counters not recorded: "
+                     f"{', '.join(report.missing_counters)}")
+
+    lines.append("")
+    lines.append("efficiency hierarchy "
+                 "(parallel = balance x sync x transfer):")
+    eff = report.efficiency
+    for name, value in (("parallel", eff.parallel), ("balance", eff.balance),
+                        ("sync", eff.sync), ("transfer", eff.transfer),
+                        ("pipeline*", eff.pipeline)):
+        lines.append(f"  {name:10s} {_bar(value)} {100 * value:6.2f}%")
+    lines.append("  (*pipeline = useful/(useful+stalls); annotates, "
+                 "not a factor)")
+
+    lines.append("")
+    lines.append("state attribution:")
+    for state in _STATE_ORDER:
+        fraction = report.state_fractions.get(state, 0.0)
+        lines.append(f"  {state.name.title():9s} {_bar(fraction)} "
+                     f"{100 * fraction:6.2f}%")
+
+    if report.phases is not None:
+        phases = report.phases
+        lines.append("")
+        lines.append(
+            f"phases     : {phases.load_windows} load-only, "
+            f"{phases.compute_windows} compute-only, "
+            f"{phases.overlap_windows} overlapping, "
+            f"{phases.idle_windows} idle windows "
+            f"(overlap fraction {phases.overlap_fraction:.2f})")
+
+    if report.trace is not None:
+        lines.append("")
+        lines.append(render_state_timeline(report.trace, width=width))
+    if report.bandwidth_series.size:
+        lines.append("")
+        lines.append(render_series(report.bandwidth_series, width=width,
+                                   height=4, label="bandwidth GB/s"))
+    if report.gflops_series.size:
+        lines.append("")
+        lines.append(render_series(report.gflops_series, width=width,
+                                   height=4, label="GFLOP/s"))
+
+    lines.append("")
+    lines.append(str(report.diagnosis))
+    return "\n".join(lines) + "\n"
+
+
+def render_comparison_text(reports: Sequence[TraceReport]) -> str:
+    """Side-by-side delta table, baseline first (the §VI journey)."""
+
+    rows = comparison_rows(reports)
+    if not rows:
+        return "(no traces)\n"
+    header = (f"{'label':18s} {'cycles':>10s} {'speedup':>8s} "
+              f"{'par.eff':>8s} {'balance':>8s} {'sync':>7s} "
+              f"{'transfer':>9s} {'GB/s':>7s} {'GFLOP/s':>8s} "
+              f"{'overlap':>8s}  bottleneck")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        overlap = f"{row['overlap_fraction']:8.2f}" \
+            if row["overlap_fraction"] is not None else f"{'-':>8s}"
+        lines.append(
+            f"{row['label'][:18]:18s} {row['cycles']:10d} "
+            f"{row['speedup']:7.2f}x {row['parallel_efficiency']:8.3f} "
+            f"{row['balance']:8.3f} {row['sync']:7.3f} "
+            f"{row['transfer']:9.3f} {row['bandwidth_gbs']:7.2f} "
+            f"{row['gflops']:8.3f} {overlap}  {row['primary_bottleneck']}")
+    return "\n".join(lines) + "\n"

@@ -6,6 +6,38 @@ import pytest
 from repro.analysis import Bottleneck, diagnose
 from repro.apps import run_gemm, run_pi
 from repro.core import SimConfig
+from repro.profiling import (
+    EventKind, ProfilingConfig, ProfilingRecorder, ThreadState,
+)
+
+
+class _StubResult:
+    """Just enough of SimResult for diagnose() on a hand-built trace."""
+
+    clock_mhz = 100.0
+
+    def __init__(self, trace):
+        self.trace = trace
+        self.stalls = [0] * trace.num_threads
+
+    def bandwidth_gbs(self):
+        return 0.0
+
+
+def _trace_with_spans(spans, end=1000, events=True):
+    """Trace whose thread i is RUNNING exactly over spans[i] (or never,
+    when spans[i] is None)."""
+
+    kinds = tuple(EventKind) if events else \
+        (EventKind.STALLS, EventKind.MEM_WRITE_BYTES, EventKind.INTOPS)
+    recorder = ProfilingRecorder(
+        ProfilingConfig(sampling_period=100, events=kinds), len(spans))
+    for thread, span in enumerate(spans):
+        if span is None:
+            continue
+        recorder.set_state(span[0], thread, ThreadState.RUNNING)
+        recorder.set_state(span[1], thread, ThreadState.IDLE)
+    return recorder.finalize(end)
 
 
 class TestDiagnose:
@@ -62,3 +94,56 @@ class TestDiagnose:
         diag = diagnose(run.result)
         text = str(diag)
         assert "primary bottleneck" in text
+
+
+class TestTemporalOverlap:
+    """Regression: never-active threads report a (0, 0) activity span
+    that used to drag the union window back to cycle 0 and let the
+    common/union ratio go negative."""
+
+    def test_inactive_thread_excluded(self):
+        trace = _trace_with_spans([(100, 900), (150, 850), None])
+        diag = diagnose(_StubResult(trace))
+        # only the two active spans count: common (150,850) / union (100,900)
+        assert diag.metrics["temporal_overlap"] == pytest.approx(700 / 800)
+
+    def test_disjoint_spans_clamp_to_zero(self):
+        trace = _trace_with_spans([(0, 300), (700, 1000)])
+        diag = diagnose(_StubResult(trace))
+        assert diag.metrics["temporal_overlap"] == 0.0
+
+    def test_all_threads_inactive(self):
+        trace = _trace_with_spans([None, None])
+        diag = diagnose(_StubResult(trace))
+        assert diag.metrics["temporal_overlap"] == 1.0
+
+    def test_overlap_always_in_unit_interval(self):
+        for spans in ([(0, 1000)], [(0, 500), (400, 1000), None],
+                      [(10, 20), (980, 990)]):
+            trace = _trace_with_spans(list(spans))
+            overlap = diagnose(_StubResult(trace)).metrics["temporal_overlap"]
+            assert 0.0 <= overlap <= 1.0
+
+
+class TestMissingCounters:
+    """Regression: profiling configs that omit MEM_READ_BYTES or FLOPS
+    used to raise KeyError inside phase_overlap/diagnose."""
+
+    def test_diagnose_without_mem_and_flops(self):
+        trace = _trace_with_spans([(0, 900), (0, 950)], events=False)
+        assert EventKind.MEM_READ_BYTES not in trace.events
+        assert EventKind.FLOPS not in trace.events
+        diag = diagnose(_StubResult(trace))  # must not raise
+        assert any("counters not recorded" in f for f in diag.findings)
+        assert "mem_read_bytes" in diag.findings[0]
+        assert "flops" in diag.findings[0]
+
+    def test_phased_execution_not_claimed_without_counters(self):
+        trace = _trace_with_spans([(0, 900), (0, 950)], events=False)
+        diag = diagnose(_StubResult(trace))
+        assert diag.primary is not Bottleneck.PHASED_EXECUTION
+
+    def test_full_counters_have_no_missing_finding(self):
+        trace = _trace_with_spans([(0, 900), (0, 950)])
+        diag = diagnose(_StubResult(trace))
+        assert not any("counters not recorded" in f for f in diag.findings)

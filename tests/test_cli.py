@@ -165,3 +165,76 @@ class TestDemo:
         out = capsys.readouterr().out
         assert "pi(32000)" in out
         assert "GFLOP/s" in out
+
+
+@pytest.fixture
+def traced(source_file, tmp_path, capsys):
+    """A .prv (+companions) written by the trace command."""
+
+    base = str(tmp_path / "run")
+    assert main(["trace", source_file, "--arg", "n=32", "-o", base]) == 0
+    capsys.readouterr()
+    return base + ".prv"
+
+
+class TestAnalyze:
+    def test_text_report(self, traced, capsys):
+        assert main(["analyze", traced]) == 0
+        out = capsys.readouterr().out
+        assert "trace report: run" in out
+        assert "efficiency hierarchy" in out
+        assert "primary bottleneck" in out
+
+    def test_html_and_json_written(self, traced, tmp_path, capsys):
+        html = str(tmp_path / "r.html")
+        jsn = str(tmp_path / "r.json")
+        assert main(["analyze", traced, "--html", html,
+                     "--json", jsn]) == 0
+        content = open(html).read()
+        assert "<svg" in content and "<script" not in content
+        import json
+        assert json.load(open(jsn))["schema"] == "repro.report/1"
+
+    def test_label_and_peak_flags(self, traced, capsys):
+        assert main(["analyze", traced, "--label", "mine",
+                     "--peak-bw", "10", "--clock-mhz", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "trace report: mine" in out
+        assert "at 200 MHz" in out
+
+    def test_missing_file_clean_error(self):
+        with pytest.raises(SystemExit, match="cannot read trace"):
+            main(["analyze", "/nonexistent/trace.prv"])
+
+
+class TestCompare:
+    def test_delta_table(self, traced, capsys):
+        assert main(["compare", traced, traced,
+                     "--labels", "a,b"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        lines = out.splitlines()
+        assert any(line.startswith("a ") for line in lines)
+        assert any(line.startswith("b ") for line in lines)
+        assert "1.00x" in out
+
+    def test_labels_count_mismatch(self, traced):
+        with pytest.raises(SystemExit, match="--labels names 3"):
+            main(["compare", traced, traced, "--labels", "a,b,c"])
+
+
+class TestDemoReports:
+    def test_gemm_demo_traces_and_html(self, tmp_path, capsys):
+        traces = str(tmp_path / "traces")
+        html = str(tmp_path / "demo.html")
+        assert main(["demo", "gemm", "--dim", "16",
+                     "--trace-dir", traces, "--html", html]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out
+        import os
+        prvs = [f for f in os.listdir(traces) if f.endswith(".prv")]
+        assert "naive.prv" in prvs
+        assert os.path.getsize(html) > 0
+        # demo trace re-analyzes standalone
+        assert main(["analyze", os.path.join(traces, "naive.prv")]) == 0
+        assert "primary bottleneck" in capsys.readouterr().out

@@ -107,6 +107,15 @@ class TestRoundTrip:
         with pytest.raises(ParaverParseError):
             parse_prv(str(path))
 
+    def test_parse_rejects_inverted_state_record(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "run"))
+        content = open(files.prv).read() + "1:1:1:1:1:500:100:1\n"
+        path = tmp_path / "bad.prv"
+        path.write_text(content)
+        with pytest.raises(ParaverParseError, match="ends before it begins"):
+            parse_prv(str(path))
+
     def test_parse_rejects_bad_record(self, tmp_path):
         trace = make_trace()
         files = write_trace(trace, str(tmp_path / "run"))

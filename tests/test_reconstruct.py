@@ -1,0 +1,194 @@
+"""Round-trip tests: write a trace, reconstruct it, re-derive metrics.
+
+Covers the tentpole guarantee: a saved ``.prv`` (plus companions)
+rebuilds into a :class:`RunTrace` on which every existing metric and
+``diagnose()`` produce the same answers as the live in-memory run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import diagnose
+from repro.apps import run_gemm, run_pi
+from repro.core import SimConfig
+from repro.paraver import (
+    parse_pcf, parse_prv, parse_row, reconstruct_run, reconstruct_trace,
+    recover_sampling_period, write_trace,
+)
+from repro.profiling import (
+    EventKind, ProfilingConfig, ProfilingRecorder, ThreadState,
+)
+
+from .test_paraver import make_trace
+
+
+@pytest.fixture(scope="module")
+def gemm_run():
+    return run_gemm("naive", dim=32)
+
+
+@pytest.fixture(scope="module")
+def pi_run():
+    return run_pi(6400, sim_config=SimConfig(thread_start_interval=5000))
+
+
+def _write_and_reconstruct(result, tmp_path, name):
+    files = write_trace(result.trace, str(tmp_path / name),
+                        clock_mhz=result.clock_mhz)
+    return files, reconstruct_run(files.prv)
+
+
+class TestSyntheticRoundTrip:
+    def test_states_identical(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"))
+        rec = reconstruct_run(files.prv)
+        assert rec.trace.num_threads == trace.num_threads
+        assert rec.trace.end_cycle == trace.end_cycle
+        for thread in range(trace.num_threads):
+            assert rec.trace.states[thread] == trace.states[thread]
+
+    def test_sampling_period_from_pcf(self, tmp_path):
+        trace = make_trace(period=100)
+        files = write_trace(trace, str(tmp_path / "t"))
+        rec = reconstruct_run(files.prv)
+        assert rec.trace.sampling_period == 100
+        assert rec.period_source == "pcf"
+
+    def test_sampling_period_from_cadence(self, tmp_path):
+        trace = make_trace(period=100)
+        files = write_trace(trace, str(tmp_path / "t"))
+        parsed = parse_prv(files.prv)
+        assert recover_sampling_period(parsed) == 100
+        rebuilt, source, _ = reconstruct_trace(parsed)
+        assert rebuilt.sampling_period == 100
+        assert source == "cadence"
+
+    def test_event_sums_close(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"))
+        rec = reconstruct_run(files.prv)
+        for kind, series in trace.events.items():
+            rebuilt = rec.trace.events[kind]
+            assert rebuilt.shape == series.shape
+            # writer truncates per-bin floats to ints: off by < 1/bin
+            assert np.all(np.abs(rebuilt - np.floor(series)) <= 1)
+
+    def test_clock_from_pcf_metadata(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"), clock_mhz=123.5)
+        rec = reconstruct_run(files.prv)
+        assert rec.result.clock_mhz == pytest.approx(123.5)
+        assert rec.clock_source == "pcf"
+
+    def test_clock_default_without_pcf(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"))
+        parsed = parse_prv(files.prv)
+        rec = reconstruct_run(parsed)
+        assert rec.result.clock_mhz == pytest.approx(140.0)
+        assert rec.clock_source == "default"
+
+    def test_explicit_clock_wins(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"), clock_mhz=123.5)
+        rec = reconstruct_run(files.prv, clock_mhz=99.0)
+        assert rec.result.clock_mhz == pytest.approx(99.0)
+        assert rec.clock_source == "explicit"
+
+    def test_thread_names_from_row(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"))
+        rec = reconstruct_run(files.prv)
+        assert rec.thread_names == ["HW thread 0", "HW thread 1"]
+
+    def test_unknown_event_types_collected(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"))
+        with open(files.prv, "a") as out:
+            out.write("2:1:1:1:1:100:99000001:7\n")
+        rec = reconstruct_run(files.prv)
+        assert rec.unknown_event_types == {99000001: 1}
+
+    def test_idle_gap_filled(self, tmp_path):
+        """A trace missing explicit idle records still covers [0, end]."""
+
+        path = tmp_path / "gap.prv"
+        path.write_text(
+            "#Paraver (01/01/2020 at 00:00):1000:1(1):1:1(1:1)\n"
+            "1:1:1:1:1:200:600:1\n")
+        rec = reconstruct_run(str(path))
+        intervals = rec.trace.states[0]
+        assert intervals[0].state is ThreadState.IDLE
+        assert (intervals[0].start, intervals[0].end) == (0, 200)
+        assert intervals[-1].state is ThreadState.IDLE
+        assert (intervals[-1].start, intervals[-1].end) == (600, 1000)
+        total = sum(iv.duration for iv in intervals)
+        assert total == 1000
+
+
+class TestCompanionParsers:
+    def test_pcf_states_and_events(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"), clock_mhz=140.0)
+        pcf = parse_pcf(files.pcf)
+        assert pcf.state_names[1] == "Running"
+        assert pcf.state_colors[3] == (255, 0, 0)
+        assert any("Floating-point" in label
+                   for label in pcf.event_labels.values())
+        assert pcf.clock_mhz == pytest.approx(140.0)
+        assert pcf.sampling_period == trace.sampling_period
+
+    def test_row_levels(self, tmp_path):
+        trace = make_trace()
+        files = write_trace(trace, str(tmp_path / "t"))
+        row = parse_row(files.row)
+        assert row.levels["CPU"] == ["HW thread 0", "HW thread 1"]
+        assert row.levels["NODE"] == ["fpga-0"]
+        assert row.thread_names == ["HW thread 0", "HW thread 1"]
+
+
+class TestDemoRoundTrip:
+    """Satellite: GEMM and π demo traces reconstruct with matching
+    state durations, event-window sums and diagnosis."""
+
+    def test_gemm_state_durations_match(self, gemm_run, tmp_path):
+        _, rec = _write_and_reconstruct(gemm_run.result, tmp_path, "gemm")
+        original = gemm_run.result.trace
+        for thread in range(original.num_threads):
+            assert rec.trace.state_durations(thread) == \
+                original.state_durations(thread)
+
+    def test_gemm_state_fractions_close(self, gemm_run, tmp_path):
+        _, rec = _write_and_reconstruct(gemm_run.result, tmp_path, "gemm")
+        original = gemm_run.result.trace.state_fractions()
+        rebuilt = rec.trace.state_fractions()
+        for state in ThreadState:
+            assert rebuilt[state] == pytest.approx(original[state],
+                                                   abs=1e-6)
+
+    def test_gemm_event_window_sums_close(self, gemm_run, tmp_path):
+        _, rec = _write_and_reconstruct(gemm_run.result, tmp_path, "gemm")
+        for kind, series in gemm_run.result.trace.events.items():
+            rebuilt = rec.trace.events[kind]
+            assert rebuilt.shape == series.shape
+            assert np.all(np.abs(rebuilt - np.floor(series)) <= 1)
+
+    def test_gemm_diagnosis_matches(self, gemm_run, tmp_path):
+        _, rec = _write_and_reconstruct(gemm_run.result, tmp_path, "gemm")
+        live = diagnose(gemm_run.result)
+        from_file = diagnose(rec.result)
+        assert from_file.primary is live.primary
+        assert from_file.metrics["sync_fraction"] == pytest.approx(
+            live.metrics["sync_fraction"], abs=1e-6)
+
+    def test_pi_diagnosis_matches(self, pi_run, tmp_path):
+        _, rec = _write_and_reconstruct(pi_run.result, tmp_path, "pi")
+        live = diagnose(pi_run.result)
+        from_file = diagnose(rec.result)
+        assert from_file.primary is live.primary
+
+    def test_pi_state_durations_match(self, pi_run, tmp_path):
+        _, rec = _write_and_reconstruct(pi_run.result, tmp_path, "pi")
+        assert rec.trace.state_durations() == \
+            pi_run.result.trace.state_durations()
