@@ -10,38 +10,50 @@ journey as a self-contained HTML report (the regenerable equivalent of
 the paper's screenshots) plus the naive version's Paraver trace, which
 ``repro analyze gemm_naive_trace.prv`` re-analyzes without a simulator.
 
-Run:  python examples/gemm_optimization_journey.py [DIM]
+Run:  python examples/gemm_optimization_journey.py [DIM] [--jobs N]
+
+The five versions are executed through :func:`repro.sweep.run_sweep`,
+so passing ``--jobs 4`` simulates them in parallel worker processes
+(with the shared compile cache) — the rendering below is unchanged
+because simulated cycle counts are identical at any worker count.
 """
 
 import sys
 
 from repro.analysis import diagnose
-from repro.apps import run_gemm
-from repro.apps.gemm import GEMM_VERSIONS
 from repro.paraver import (
     bandwidth_series_gbs, gflops_series, phase_overlap, render_series,
     render_state_timeline, write_trace,
 )
 from repro.profiling import ThreadState
 from repro.report import render_comparison_text, write_html
+from repro.sweep import gemm_sweep, run_sweep
 
 PAPER_SPEEDUPS = {"naive": 1.0, "no_critical": 1.14, "vectorized": 2.2,
                   "blocked": 5.28, "double_buffered": 19.0}
 
 
-def main(dim: int = 64) -> None:
-    runs = {}
-    print(f"=== GEMM optimization journey, DIM={dim}, 8 hardware threads ===\n")
+def main(dim: int = 64, jobs: int = 1) -> None:
+    print(f"=== GEMM optimization journey, DIM={dim}, 8 hardware threads "
+          f"(--jobs {jobs}) ===\n")
+    sweep = run_sweep(gemm_sweep(dim=dim), jobs=jobs, keep_runs=True)
+    failed = sweep.failed
+    if failed:
+        raise SystemExit("\n".join(f"{job.job_id} {job.status}: {job.error}"
+                                   for job in failed))
+    runs = {job.spec["version"]: job.run for job in sweep.jobs}
     print(f"{'version':18s} {'cycles':>10s} {'speedup':>8s} {'paper':>7s} "
           f"{'GB/s':>6s} {'correct':>8s}")
     base = None
-    for version in GEMM_VERSIONS:
-        run = run_gemm(version, dim=dim)
-        runs[version] = run
+    for version, run in runs.items():
         base = base or run.cycles
         print(f"{version:18s} {run.cycles:10d} {base / run.cycles:7.2f}x "
               f"{PAPER_SPEEDUPS[version]:6.2f}x "
               f"{run.result.bandwidth_gbs():6.2f} {str(run.correct):>8s}")
+    totals = sweep.totals()
+    print(f"\n(sweep: {totals['jobs']} jobs in {sweep.wall_s:.1f}s wall, "
+          f"compile cache {totals['cache_hits']} hits / "
+          f"{totals['cache_misses']} misses)")
 
     # ------------------------------------------------------------------
     naive = runs["naive"].result
@@ -103,4 +115,10 @@ def main(dim: int = 64) -> None:
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 64)
+    argv = sys.argv[1:]
+    n_jobs = 1
+    if "--jobs" in argv:
+        at = argv.index("--jobs")
+        n_jobs = int(argv[at + 1])
+        del argv[at:at + 2]
+    main(int(argv[0]) if argv else 64, jobs=n_jobs)

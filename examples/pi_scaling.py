@@ -6,31 +6,34 @@ overhead of starting the hardware threads dominates small workloads —
 the Figs. 11-13 state views and their 0.146/0.556/1.507 GFLOP/s series
 (scaled sizes here; the shape is what reproduces).
 
-Run:  python examples/pi_scaling.py
+Run:  python examples/pi_scaling.py [--jobs N]
+
+The three sweep points run through :func:`repro.sweep.run_sweep`, so
+``--jobs 3`` simulates them in parallel worker processes; the rendered
+output is identical at any worker count.
 """
 
-import math
+import sys
 
 from repro.analysis import diagnose
-from repro.apps import run_pi
-from repro.core import SimConfig
 from repro.paraver import render_state_timeline, thread_activity_windows
-
-#: scaled counterparts of the paper's 1M / 4M / 10M iteration points
-SWEEP = (32_000, 128_000, 320_000)
-#: cycles between successive software thread starts (scaled)
-START_INTERVAL = 12_000
+from repro.sweep import JobSpec, execute_job, pi_sweep, run_sweep
+from repro.sweep.spec import (PI_DEFAULT_START_INTERVAL as START_INTERVAL,
+                              PI_DEFAULT_STEPS as SWEEP)
 
 
-def main() -> None:
-    config = SimConfig(thread_start_interval=START_INTERVAL)
+def main(jobs: int = 1) -> None:
     print("=== pi series scaling (paper Figs. 11-13) ===")
-    print(f"thread start interval: {START_INTERVAL} cycles\n")
+    print(f"thread start interval: {START_INTERVAL} cycles "
+          f"(--jobs {jobs})\n")
     print(f"{'steps':>9s} {'pi error':>10s} {'cycles':>9s} {'GFLOP/s':>8s}")
-    runs = {}
+    sweep = run_sweep(pi_sweep(), jobs=jobs, keep_runs=True)
+    if sweep.failed:
+        raise SystemExit("\n".join(f"{job.job_id} {job.status}: {job.error}"
+                                   for job in sweep.failed))
+    runs = {job.spec["steps"]: job.run for job in sweep.jobs}
     for steps in SWEEP:
-        run = run_pi(steps, sim_config=config)
-        runs[steps] = run
+        run = runs[steps]
         print(f"{steps:9d} {run.error:10.2e} {run.cycles:9d} "
               f"{run.gflops:8.3f}")
 
@@ -52,10 +55,19 @@ def main() -> None:
 
     # the paper extrapolates to 15e9 iterations (36.84 GFLOP/s): at large
     # sizes the startup cost vanishes and the pipeline rate is the limit
-    big = run_pi(2_560_000, sim_config=config)
+    result = execute_job(JobSpec(app="pi", steps=2_560_000,
+                                 start_interval=START_INTERVAL),
+                         keep_run=True)
+    if result.status != "ok":
+        raise SystemExit(f"{result.job_id} {result.status}: {result.error}")
+    big = result.run
     print(f"\nextrapolation point: {big.steps} steps -> "
           f"{big.gflops:.3f} GFLOP/s (startup amortized)")
 
 
 if __name__ == "__main__":
-    main()
+    n_jobs = 1
+    if "--jobs" in sys.argv:
+        at = sys.argv.index("--jobs")
+        n_jobs = int(sys.argv[at + 1])
+    main(jobs=n_jobs)

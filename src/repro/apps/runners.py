@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.program import Program, ProgramResult
+from ..hls.cache import CompileCache
 from ..hls.compiler import Accelerator, HLSOptions
 from ..sim.config import SimConfig
 from ..sim.executor import SimResult
@@ -24,7 +25,12 @@ __all__ = ["GemmRun", "PiRun", "run_gemm", "run_pi"]
 
 @dataclass
 class GemmRun:
-    """Result of one GEMM version's simulation."""
+    """Result of one GEMM version's simulation.
+
+    ``A``/``B`` are required: the ``partials``/``correct`` checks need
+    the inputs, so every constructor must populate them (they used to
+    default to ``None``, which crashed callers that skipped them).
+    """
 
     version: str
     dim: int
@@ -32,8 +38,8 @@ class GemmRun:
     C: np.ndarray
     reference: np.ndarray
     accelerator: Accelerator
-    A: np.ndarray = None
-    B: np.ndarray = None
+    A: np.ndarray
+    B: np.ndarray
     num_threads: int = 8
 
     @property
@@ -78,7 +84,8 @@ class GemmRun:
 def run_gemm(version: str, dim: int = 64, num_threads: int = 8,
              seed: int = 42, options: Optional[HLSOptions] = None,
              sim_config: Optional[SimConfig] = None,
-             vector_len: int = 4, block_size: int = 8) -> GemmRun:
+             vector_len: int = 4, block_size: int = 8,
+             compile_cache: Optional[CompileCache] = None) -> GemmRun:
     """Compile and simulate one GEMM version on random matrices."""
 
     if dim % block_size != 0:
@@ -97,7 +104,8 @@ def run_gemm(version: str, dim: int = 64, num_threads: int = 8,
                            vector_len=vector_len, block_size=block_size)
     program = Program(gemm_source(version), defines=defines,
                       options=options,
-                      sim_config=sim_config or SimConfig(thread_start_interval=50))
+                      sim_config=sim_config or SimConfig(thread_start_interval=50),
+                      compile_cache=compile_cache)
     outcome: ProgramResult = program.run(A=A, B=B, C=C, DIM=dim)
     return GemmRun(version, dim, outcome.sim, C, reference,
                    program.accelerator, A=A, B=B, num_threads=num_threads)
@@ -134,7 +142,8 @@ class PiRun:
 
 def run_pi(steps: int, num_threads: int = 8, bs_compute: int = 8,
            options: Optional[HLSOptions] = None,
-           sim_config: Optional[SimConfig] = None) -> PiRun:
+           sim_config: Optional[SimConfig] = None,
+           compile_cache: Optional[CompileCache] = None) -> PiRun:
     """Compile and simulate the π series for ``steps`` iterations."""
 
     if steps % (num_threads * bs_compute) != 0:
@@ -142,7 +151,8 @@ def run_pi(steps: int, num_threads: int = 8, bs_compute: int = 8,
                          f"{num_threads} threads x BS_compute={bs_compute}")
     program = Program(PI_SOURCE, defines=pi_defines(bs_compute),
                       const_env={"threads": num_threads},
-                      options=options, sim_config=sim_config)
+                      options=options, sim_config=sim_config,
+                      compile_cache=compile_cache)
     outcome = program.run(steps=steps, threads=num_threads)
     return PiRun(steps, float(outcome.value), outcome.sim,
                  program.accelerator)

@@ -20,6 +20,11 @@ Mirrors how a user of the paper's flow would drive it:
 * ``demo``     — run one of the paper's case studies (gemm / pi);
   ``--trace-dir`` saves each run's Paraver trace, ``--html`` writes the
   comparison report;
+* ``sweep``    — batch-run a list of jobs from a JSON spec (or the
+  ``gemm``/``pi`` shorthands), optionally fanned out over worker
+  processes (``--jobs N``) with a shared compile cache, per-job
+  timeout and structured failure capture; ``--out`` writes the
+  machine-readable ``repro.sweep/1`` result document;
 * ``stats``    — pretty-print a telemetry JSONL metrics file.
 
 Synthetic arguments: scalar kernel parameters can be set with
@@ -148,6 +153,39 @@ def build_parser() -> argparse.ArgumentParser:
     p_demo.add_argument("--html", metavar="PATH", default=None,
                         help="write the runs' comparison report as HTML")
     add_telemetry_args(p_demo)
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a batch of compile+simulate jobs, optionally "
+                      "in parallel, and write machine-readable results")
+    p_sweep.add_argument("spec",
+                         help="a JSON sweep spec file, or the shorthand "
+                              "'gemm' (five-version journey) / 'pi' "
+                              "(iteration scaling)")
+    p_sweep.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="worker processes (1 = run inline; "
+                              "default: 1)")
+    p_sweep.add_argument("--repeat", type=int, default=None, metavar="K",
+                         help="run each job K times (distinct repeat "
+                              "indices)")
+    p_sweep.add_argument("--out", metavar="PATH", default=None,
+                         help="write results as JSON (schema repro.sweep/1),"
+                              " e.g. BENCH_gemm.json")
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="bypass the compile cache entirely")
+    p_sweep.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="compile cache directory (default: "
+                              "~/.cache/repro or $REPRO_CACHE_DIR)")
+    p_sweep.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-job wall-clock limit (parallel mode "
+                              "only)")
+    p_sweep.add_argument("--report-dir", metavar="DIR", default=None,
+                         help="write each job's trace report JSON into DIR")
+    p_sweep.add_argument("--dim", type=int, default=64,
+                         help="matrix dimension for the 'gemm' shorthand")
+    p_sweep.add_argument("--threads", type=int, default=8,
+                         help="hardware threads for the shorthands")
+    add_telemetry_args(p_sweep)
 
     p_stats = sub.add_parser(
         "stats", help="pretty-print a telemetry JSONL metrics file")
@@ -310,6 +348,40 @@ def _report_command(args: argparse.Namespace) -> int:
     return 0
 
 
+def _sweep_command(args: argparse.Namespace) -> int:
+    from .sweep import load_spec, run_sweep
+    try:
+        spec = load_spec(args.spec, dim=args.dim, threads=args.threads)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    result = run_sweep(spec, jobs=args.jobs, repeat=args.repeat,
+                       use_cache=not args.no_cache,
+                       cache_dir=args.cache_dir, timeout=args.timeout,
+                       report_dir=args.report_dir)
+
+    header = (f"{'job':34s} {'status':8s} {'cycles':>10s} {'GFLOP/s':>8s} "
+              f"{'wall':>7s}  cache")
+    print(header)
+    print("-" * len(header))
+    for job in result.jobs:
+        cycles = f"{job.cycles}" if job.cycles is not None else "-"
+        gflops = f"{job.gflops:.3f}" if job.gflops is not None else "-"
+        print(f"{job.job_id:34s} {job.status:8s} {cycles:>10s} {gflops:>8s} "
+              f"{job.wall_s:6.2f}s  {job.compile_cache}")
+        if job.status != "ok" and job.error:
+            print(f"  ! {job.error}")
+    totals = result.totals()
+    print(f"\n{totals['jobs']} jobs: {totals['ok']} ok, "
+          f"{totals['failed']} failed, {totals['timeout']} timeout, "
+          f"{totals['crashed']} crashed; cache {totals['cache_hits']} hits / "
+          f"{totals['cache_misses']} misses; "
+          f"{result.wall_s:.2f}s wall at --jobs {result.parallel_jobs}")
+    if args.out:
+        result.to_json(args.out)
+        print(f"results written: {args.out}")
+    return 0 if not result.failed else 1
+
+
 def _export_telemetry(args: argparse.Namespace) -> None:
     """Write/print the session's telemetry per the --telemetry flags."""
 
@@ -423,6 +495,9 @@ def _dispatch(args: argparse.Namespace) -> int:
                        title=f"repro demo {args.study}")
             print(f"HTML report written: {args.html}")
         return 0
+
+    if args.command == "sweep":
+        return _sweep_command(args)
 
     if args.command == "stats":
         try:

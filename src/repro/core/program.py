@@ -31,6 +31,7 @@ from ..frontend.errors import SemaError
 from ..frontend.pragmas import OmpTargetParallel
 from ..frontend.sema import analyze_function, resolve_type_name
 from ..frontend.lower import lower_to_kernel
+from ..hls.cache import CompileCache, resolve_cache
 from ..hls.compiler import Accelerator, HLSCompiler, HLSOptions
 from ..ir.types import PointerType, ScalarType
 from ..sim.config import SimConfig
@@ -56,15 +57,42 @@ class Program:
                  const_env: Optional[Mapping[str, int]] = None,
                  options: Optional[HLSOptions] = None,
                  sim_config: Optional[SimConfig] = None,
-                 filename: str = "<source>"):
+                 filename: str = "<source>",
+                 compile_cache: Union[CompileCache, None, bool] = None):
+        """``compile_cache`` routes the HLS flow through a
+        content-addressed :class:`~repro.hls.cache.CompileCache`:
+        pass a cache to share compiled accelerators within and across
+        processes, ``False`` to force it off, or leave ``None`` for the
+        process default (disabled unless configured).  Parsing and
+        semantic analysis always run — the host-side statements need
+        the AST — but lowering, transforms, scheduling and the area
+        model are skipped on a hit.  ``self.cache_status`` records
+        ``"hit"``/``"miss"``/``"off"``.
+        """
+
+        cache = resolve_cache(compile_cache)
+        cached: Optional[Accelerator] = None
+        key: Optional[str] = None
         with telemetry.span("frontend", category="frontend",
                             filename=filename):
             self.unit = parse_source(source, filename=filename,
                                      defines=defines)
             self.function: FunctionDef = find_kernel_function(self.unit)
             self.sema = analyze_function(self.function)
-            kernel = lower_to_kernel(self.sema, const_env=const_env)
-        self.accelerator: Accelerator = HLSCompiler(options).compile(kernel)
+            if cache is not None:
+                key = cache.key(source, defines=defines, const_env=const_env,
+                                options=options)
+                cached = cache.load(key)
+            kernel = None if cached is not None \
+                else lower_to_kernel(self.sema, const_env=const_env)
+        if cached is not None:
+            self.accelerator: Accelerator = cached
+            self.cache_status = "hit"
+        else:
+            self.accelerator = HLSCompiler(options).compile(kernel)
+            if cache is not None:
+                cache.store(key, self.accelerator)
+            self.cache_status = "miss" if cache is not None else "off"
         self.sim_config = sim_config or SimConfig()
         self._simulation = Simulation(self.accelerator, self.sim_config)
 

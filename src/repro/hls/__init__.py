@@ -2,6 +2,7 @@
 area/timing modeling and the compiler driver.  See DESIGN.md §3."""
 
 from .area import AreaBreakdown, AreaReport, estimate_area
+from .cache import CompileCache, configure_cache, get_default_cache
 from .compiler import Accelerator, HLSCompiler, HLSOptions, compile_source
 from .report import compile_report, schedule_tree
 from .depanalysis import Access, AccessMap, collect_accesses, conflicts, ops_conflict
@@ -17,6 +18,7 @@ from .transforms import (
 
 __all__ = [
     "AreaBreakdown", "AreaReport", "estimate_area",
+    "CompileCache", "configure_cache", "get_default_cache",
     "Accelerator", "HLSCompiler", "HLSOptions", "compile_source",
     "compile_report", "schedule_tree",
     "Access", "AccessMap", "collect_accesses", "conflicts", "ops_conflict",

@@ -97,6 +97,10 @@ class Segment:
     """A straight-line group of ops scheduled into pipeline stages."""
 
     sched_ops: list[ScheduledOp]
+    #: stable index in walk_segments() order, assigned once the whole
+    #: kernel is scheduled; keys local_groups/local_costs so the
+    #: mapping survives pickling (id() does not)
+    uid: int = -1
     depth: int = 0
     flops: int = 0
     intops: int = 0
@@ -198,12 +202,12 @@ class KernelSchedule:
     body: BodySchedule
     accesses: AccessMap
     options: ScheduleOptions
-    #: id(segment) -> local-memory conflict group id.  Segments whose
+    #: segment.uid -> local-memory conflict group id.  Segments whose
     #: local-array accesses may touch the same BRAM words share the
     #: memory's ports and therefore serialize globally; segments proven
     #: disjoint (ping-pong buffers) get distinct groups and may overlap.
     local_groups: dict[int, int] = field(default_factory=dict)
-    #: id(segment) -> port-cycles one iteration occupies on its group
+    #: segment.uid -> port-cycles one iteration occupies on its group
     local_costs: dict[int, int] = field(default_factory=dict)
 
     # -- aggregate statistics (for reports and the area model) ---------
@@ -252,6 +256,8 @@ def _assign_local_groups(schedule: KernelSchedule) -> None:
 
     opts = schedule.options
     segments = list(schedule.body.walk_segments())
+    for index, segment in enumerate(segments):
+        segment.uid = index
     local_accesses: list[list[Access]] = []
     for segment in segments:
         acc = []
@@ -271,7 +277,7 @@ def _assign_local_groups(schedule: KernelSchedule) -> None:
         cost = 0
         for count in counts.values():
             cost = max(cost, -(-count // ports))
-        schedule.local_costs[id(segment)] = cost
+        schedule.local_costs[segment.uid] = cost
 
     parent = list(range(len(segments)))
 
@@ -293,7 +299,7 @@ def _assign_local_groups(schedule: KernelSchedule) -> None:
                     parent[rj] = ri
     for index, segment in enumerate(segments):
         if local_accesses[index]:
-            schedule.local_groups[id(segment)] = find(index)
+            schedule.local_groups[segment.uid] = find(index)
 
 
 _STRUCTURED = {Opcode.FOR, Opcode.IF, Opcode.CRITICAL, Opcode.BARRIER}

@@ -76,27 +76,49 @@ class RunTrace:
         return {state: value / denom for state, value in totals.items()}
 
     def event_series(self, kind: EventKind) -> np.ndarray:
-        """[bins, threads] array of per-window event sums."""
+        """[bins, threads] array of per-window event sums.
 
-        return self.events[kind]
+        Raises a diagnostic :class:`KeyError` when ``kind`` was not in
+        the run's profiling configuration (mirroring the graceful
+        degradation of :func:`repro.analysis.diagnose`, which reports
+        missing counters instead of crashing).
+        """
+
+        series = self.events.get(kind)
+        if series is None:
+            recorded = ", ".join(str(k) for k in self.events) or "none"
+            raise KeyError(
+                f"counter {kind!s} was not recorded in this trace "
+                f"(recorded counters: {recorded}); add EventKind."
+                f"{kind.name} to ProfilingConfig.events before the run")
+        return series
 
     def window_starts(self, kind: EventKind) -> np.ndarray:
         """Start cycle of each sampling window of ``kind``'s series."""
 
-        bins = self.events[kind].shape[0]
+        bins = self.event_series(kind).shape[0]
         return np.arange(bins, dtype=np.int64) * self.sampling_period
 
 
 class ProfilingRecorder:
     """Collects states and events during a simulation run."""
 
+    #: initial per-kind bin capacity; grows geometrically as needed
+    _INITIAL_BINS = 64
+
     def __init__(self, config: ProfilingConfig, num_threads: int):
         self.config = config
         self.num_threads = num_threads
         self._state_log: list[list[tuple[int, ThreadState]]] = [
             [(0, ThreadState.IDLE)] for _ in range(num_threads)]
-        self._bins: dict[EventKind, dict[int, np.ndarray]] = {
-            kind: {} for kind in config.events}
+        # one preallocated [capacity, threads] array per counter kind
+        # (scatter-adds go straight into contiguous rows — no per-bin
+        # dict lookups or allocations on the hot path)
+        self._series: dict[EventKind, np.ndarray] = {
+            kind: np.zeros((self._INITIAL_BINS, num_threads))
+            for kind in config.events}
+        self._used_bins: dict[EventKind, int] = {
+            kind: 0 for kind in config.events}
         self._enabled_kinds = set(config.events)
         self.pending_bits = 0  # trace bits not yet flushed
         self.total_bits = 0
@@ -124,37 +146,50 @@ class ProfilingRecorder:
             amount: float) -> None:
         if kind not in self._enabled_kinds or amount == 0:
             return
-        period = self.config.sampling_period
-        self._bin(kind, cycle // period)[thread] += amount
+        index = cycle // self.config.sampling_period
+        self._rows(kind, index)[index, thread] += amount
 
     def add_range(self, start: int, end: int, thread: int, kind: EventKind,
                   amount: float) -> None:
-        """Distribute ``amount`` uniformly over cycles [start, end)."""
+        """Distribute ``amount`` uniformly over cycles [start, end).
 
-        if kind not in self._enabled_kinds or amount == 0:
+        A zero-length range (``end <= start``) covers no cycles and
+        deposits nothing: the executor emits such ranges for zero-trip
+        loops, and depositing the full amount would double-count work
+        already booked by the surrounding real ranges.
+        """
+
+        if kind not in self._enabled_kinds or amount == 0 or end <= start:
             return
         period = self.config.sampling_period
-        if end <= start:
-            self._bin(kind, start // period)[thread] += amount
-            return
-        span = end - start
         first_bin = start // period
         last_bin = (end - 1) // period
+        series = self._rows(kind, last_bin)
         if first_bin == last_bin:
-            self._bin(kind, first_bin)[thread] += amount
+            series[first_bin, thread] += amount
             return
-        for b in range(first_bin, last_bin + 1):
-            lo = max(start, b * period)
-            hi = min(end, (b + 1) * period)
-            self._bin(kind, b)[thread] += amount * (hi - lo) / span
+        # vectorized scatter over the covered bins: per-bin overlap with
+        # [start, end) as a weight vector, added into contiguous rows
+        edges = np.arange(first_bin, last_bin + 2, dtype=np.int64) * period
+        lo = np.maximum(edges[:-1], start)
+        hi = np.minimum(edges[1:], end)
+        series[first_bin:last_bin + 1, thread] += \
+            (hi - lo) * (amount / (end - start))
 
-    def _bin(self, kind: EventKind, index: int) -> np.ndarray:
-        bins = self._bins[kind]
-        arr = bins.get(index)
-        if arr is None:
-            arr = np.zeros(self.num_threads)
-            bins[index] = arr
-        return arr
+    def _rows(self, kind: EventKind, index: int) -> np.ndarray:
+        """The kind's [capacity, threads] array, grown to hold ``index``."""
+
+        series = self._series[kind]
+        capacity = series.shape[0]
+        if index >= capacity:
+            while capacity <= index:
+                capacity *= 2
+            grown = np.zeros((capacity, self.num_threads))
+            grown[:series.shape[0]] = series
+            self._series[kind] = series = grown
+        if index >= self._used_bins[kind]:
+            self._used_bins[kind] = index + 1
+        return series
 
     # ------------------------------------------------------------------
     # trace-buffer cost model
@@ -189,23 +224,29 @@ class ProfilingRecorder:
         states: list[list[StateInterval]] = []
         for thread in range(self.num_threads):
             log = self._state_log[thread]
-            intervals = []
-            for i, (cycle, state) in enumerate(log):
-                nxt = log[i + 1][0] if i + 1 < len(log) else end_cycle
-                if nxt > cycle:
-                    intervals.append(StateInterval(thread, state, cycle, nxt))
-            states.append(intervals)
+            # vectorized interval construction: each record runs until
+            # the next record's cycle (the last until end_cycle); empty
+            # intervals (same-cycle re-transitions) are masked out
+            starts = np.fromiter((cycle for cycle, _ in log),
+                                 dtype=np.int64, count=len(log))
+            ends = np.empty_like(starts)
+            ends[:-1] = starts[1:]
+            ends[-1] = end_cycle
+            keep = np.nonzero(ends > starts)[0]
+            states.append([StateInterval(thread, log[i][1],
+                                         int(starts[i]), int(ends[i]))
+                           for i in keep])
 
         period = self.config.sampling_period
         n_bins = max(1, -(-max(1, end_cycle) // period))
         events: dict[EventKind, np.ndarray] = {}
-        for kind, bins in self._bins.items():
+        for kind, series in self._series.items():
+            used = self._used_bins[kind]
             arr = np.zeros((n_bins, self.num_threads))
-            for index, values in bins.items():
-                if index < n_bins:
-                    arr[index] += values
-                else:  # clamp stragglers into the final window
-                    arr[-1] += values
+            take = min(used, n_bins)
+            arr[:take] = series[:take]
+            if used > n_bins:  # clamp stragglers into the final window
+                arr[-1] += series[n_bins:used].sum(axis=0)
             events[kind] = arr
         return RunTrace(self.num_threads, end_cycle, period, states, events,
                         trace_bits=self.total_bits, flushes=self.flushes)

@@ -102,17 +102,25 @@ class Engine:
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[int] = None) -> int:
-        """Run until no events remain (or the ``until`` horizon); returns now."""
+        """Run until no events remain (or the ``until`` horizon); returns now.
+
+        Pausing at a horizon and resuming is *exactly* equivalent to an
+        uninterrupted run: over-horizon events stay in the heap with
+        their original sequence numbers (peeked, never re-pushed), so
+        same-cycle FIFO order is identical either way, and a drained
+        heap still advances the clock to the horizon.
+        """
 
         while self._heap:
-            when, _, process = heapq.heappop(self._heap)
-            if until is not None and when > until:
-                heapq.heappush(self._heap, (when, next(self._seq), process))
+            if until is not None and self._heap[0][0] > until:
                 self.now = until
                 return self.now
+            when, _, process = heapq.heappop(self._heap)
             self.now = when
             self.events_fired += 1
             self._step(process)
+        if until is not None and until > self.now:
+            self.now = until
         return self.now
 
     # ------------------------------------------------------------------

@@ -481,12 +481,12 @@ class _Runtime:
         compiled = self.sim._get_compiled(segment)
         state = self.loop_states.setdefault(id(item), _LoopState())
         schedule = self.sim.acc.schedule
-        group_id = schedule.local_groups.get(id(segment))
+        group_id = schedule.local_groups.get(segment.uid)
         group = None
         group_cost = 0
         if group_id is not None:
             group = self.group_states.setdefault(group_id, _LoopState())
-            group_cost = max(1, schedule.local_costs.get(id(segment), 1))
+            group_cost = max(1, schedule.local_costs.get(segment.uid, 1))
         recorder = self.recorder
         mem = ctx.mem
         iv_id = op.defined[0].id

@@ -1,0 +1,286 @@
+"""Batch execution of sweep jobs: serial, or fanned out over processes.
+
+:func:`execute_job` runs one :class:`~repro.sweep.spec.JobSpec` through
+the full compile→simulate pipeline (via the shared
+:mod:`repro.apps.runners` code path) and *always* returns a structured
+:class:`~repro.sweep.results.JobResult` — an exception becomes a
+``status: "failed"`` record with the traceback attached, never an
+aborted sweep.
+
+:func:`run_sweep` executes a whole spec:
+
+* ``jobs <= 1`` — inline in this process (deterministic, debuggable,
+  telemetry-visible; per-job timeouts are not enforced inline);
+* ``jobs > 1`` — a ``ProcessPoolExecutor`` fan-out.  Workers receive
+  plain job dicts (never compiled objects) and re-derive + compile
+  through the shared on-disk :class:`~repro.hls.cache.CompileCache`.
+  The dispatcher keeps exactly ``jobs`` futures in flight so a
+  submitted job is known to be *running*, which makes the per-job
+  ``timeout`` meaningful: an expired job is recorded as ``"timeout"``
+  and the pool is recycled (terminating the hung worker); a crashed
+  worker poisons the pool, so every in-flight job is retried **once**
+  before being recorded as ``"crashed"`` (retry-once-on-crash).
+
+Simulated results are deterministic by construction — each job seeds
+its own RNG and runs an isolated simulation — so per-job cycle counts
+are identical across ``jobs=1`` and ``jobs=N`` and across cache-cold
+and cache-warm runs (the cache stores *compiled accelerators*, whose
+execution is what produces cycles).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from collections import deque
+from typing import Optional, Sequence, Union
+
+from .. import telemetry
+from ..apps.runners import run_gemm, run_pi
+from ..hls.cache import CompileCache, default_cache_dir
+from ..sim.config import SimConfig
+from .results import JobResult, SweepResult
+from .spec import JobSpec, SweepSpec, expand_jobs
+
+__all__ = ["execute_job", "run_sweep"]
+
+#: dispatcher poll interval while waiting on in-flight futures
+_POLL_S = 0.1
+
+
+# ----------------------------------------------------------------------
+# one job
+# ----------------------------------------------------------------------
+def _cache_status(cache: Optional[CompileCache],
+                  before: Optional[dict]) -> str:
+    if cache is None or before is None:
+        return "off"
+    if cache.hits > before["hits"]:
+        return "hit"
+    if cache.misses > before["misses"]:
+        return "miss"
+    return "off"
+
+
+def execute_job(spec: JobSpec, *, cache: Optional[CompileCache] = None,
+                keep_run: bool = False,
+                report_dir: Optional[str] = None) -> JobResult:
+    """Run one job; never raises — failures become structured records."""
+
+    result = JobResult(job_id=spec.job_id, spec=spec.to_dict())
+    before = cache.stats() if cache is not None else None
+    start = time.perf_counter()
+    # no telemetry span here: wrapping the run would reparent the
+    # frontend/hls/sim root spans and collapse per-phase breakdowns;
+    # the job's wall time is recorded on the JobResult instead
+    sim_config = None if spec.start_interval is None else \
+        SimConfig(thread_start_interval=spec.start_interval)
+    try:
+        if spec.app == "gemm":
+            run = run_gemm(spec.version, dim=spec.dim,
+                           num_threads=spec.threads, seed=spec.seed,
+                           vector_len=spec.vector_len,
+                           block_size=spec.block_size,
+                           sim_config=sim_config, compile_cache=cache)
+            result.correct = bool(run.correct)
+        else:
+            run = run_pi(spec.steps, num_threads=spec.threads,
+                         bs_compute=spec.bs_compute,
+                         sim_config=sim_config, compile_cache=cache)
+            result.value = run.value
+            result.value_error = run.error
+        result.cycles = int(run.cycles)
+        result.gflops = float(run.result.gflops)
+        result.bandwidth_gbs = float(run.result.bandwidth_gbs())
+        if report_dir:
+            result.report_path = _write_job_report(run, spec, report_dir)
+        if keep_run:
+            result.run = run
+        result.status = "ok"
+    except Exception as exc:
+        result.status = "failed"
+        result.error = f"{type(exc).__name__}: {exc}"
+        result.traceback = traceback.format_exc()
+    result.wall_s = time.perf_counter() - start
+    result.compile_cache = _cache_status(cache, before)
+    return result
+
+
+def _write_job_report(run, spec: JobSpec, report_dir: str) -> str:
+    from ..report import reports_to_json
+
+    os.makedirs(report_dir, exist_ok=True)
+    path = os.path.join(report_dir, f"{spec.job_id}.report.json")
+    with open(path, "w") as handle:
+        handle.write(reports_to_json([run.report(label=spec.job_id)]) + "\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+#: per-process cache handle, reused across the jobs one worker executes
+_WORKER_CACHE: Optional[CompileCache] = None
+
+
+def _pool_worker(job_dict: dict, cache_dir: Optional[str], use_cache: bool,
+                 keep_run: bool, report_dir: Optional[str]) -> JobResult:
+    global _WORKER_CACHE
+    spec = JobSpec.from_dict(job_dict)
+    cache = None
+    if use_cache:
+        wanted = cache_dir or default_cache_dir()
+        if _WORKER_CACHE is None or _WORKER_CACHE.directory != wanted:
+            _WORKER_CACHE = CompileCache(wanted)
+        cache = _WORKER_CACHE
+    result = execute_job(spec, cache=cache, keep_run=keep_run,
+                         report_dir=report_dir)
+    if not keep_run:
+        result.run = None  # keep the cross-process pickle small
+    return result
+
+
+# ----------------------------------------------------------------------
+# the sweep
+# ----------------------------------------------------------------------
+def run_sweep(spec: Union[SweepSpec, Sequence[JobSpec]], *, jobs: int = 1,
+              repeat: Optional[int] = None, use_cache: bool = True,
+              cache_dir: Optional[str] = None,
+              timeout: Optional[float] = None,
+              report_dir: Optional[str] = None,
+              keep_runs: bool = False) -> SweepResult:
+    """Execute every job of ``spec``; returns results in spec order.
+
+    ``jobs`` is the process fan-out (``<= 1`` runs inline); ``repeat``
+    replicates each job with distinct ``repeat_index``; ``timeout`` is
+    the per-job wall-clock limit in seconds (pool mode only).
+    """
+
+    if isinstance(spec, SweepSpec):
+        job_specs = spec.expanded(repeat)
+        name = spec.name
+    else:
+        job_specs = expand_jobs(list(spec), repeat if repeat is not None
+                                else 1)
+        name = "sweep"
+    start = time.perf_counter()
+    with telemetry.span("sweep", category="sweep", sweep=name,
+                        jobs=len(job_specs), parallel=jobs):
+        if jobs <= 1:
+            cache = CompileCache(cache_dir) if use_cache else None
+            results = [execute_job(job, cache=cache, keep_run=keep_runs,
+                                   report_dir=report_dir)
+                       for job in job_specs]
+        else:
+            results = _run_pool(job_specs, jobs, cache_dir, use_cache,
+                                timeout, report_dir, keep_runs)
+    outcome = SweepResult(name, results,
+                          wall_s=time.perf_counter() - start,
+                          parallel_jobs=max(1, jobs))
+    totals = outcome.totals()
+    telemetry.add("sweep.jobs", totals["jobs"])
+    telemetry.add("sweep.ok", totals["ok"])
+    telemetry.add("sweep.failures", totals["jobs"] - totals["ok"])
+    telemetry.add("sweep.cache_hits", totals["cache_hits"])
+    telemetry.add("sweep.cache_misses", totals["cache_misses"])
+    return outcome
+
+
+def _crash_result(spec: JobSpec, attempts: int, status: str,
+                  message: str) -> JobResult:
+    return JobResult(job_id=spec.job_id, spec=spec.to_dict(), status=status,
+                     error=message, attempts=attempts)
+
+
+def _terminate_pool(executor) -> None:
+    """Shut a pool down hard, reclaiming hung or poisoned workers."""
+
+    processes = list(getattr(executor, "_processes", None or {}).values()) \
+        if getattr(executor, "_processes", None) else []
+    executor.shutdown(wait=False, cancel_futures=True)
+    for process in processes:
+        try:
+            process.terminate()
+        except Exception:
+            pass
+
+
+def _run_pool(job_specs: list[JobSpec], workers: int,
+              cache_dir: Optional[str], use_cache: bool,
+              timeout: Optional[float], report_dir: Optional[str],
+              keep_runs: bool) -> list[JobResult]:
+    from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+    from concurrent.futures.process import BrokenProcessPool
+
+    workers = min(workers, len(job_specs)) or 1
+    results: dict[int, JobResult] = {}
+    #: (job index, attempt) — attempt counts pool-crash retries only
+    pending: deque[tuple[int, int]] = deque(
+        (index, 0) for index in range(len(job_specs)))
+    in_flight: dict = {}  # future -> (index, attempt, started_at)
+    executor = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(index: int, attempt: int) -> None:
+        future = executor.submit(_pool_worker, job_specs[index].to_dict(),
+                                 cache_dir, use_cache, keep_runs, report_dir)
+        in_flight[future] = (index, attempt, time.monotonic())
+
+    def recycle_pool() -> None:
+        """Replace the pool; requeue surviving in-flight jobs as-is."""
+
+        nonlocal executor
+        for _future, (index, attempt, _started) in in_flight.items():
+            pending.appendleft((index, attempt))
+        in_flight.clear()
+        _terminate_pool(executor)
+        executor = ProcessPoolExecutor(max_workers=workers)
+
+    try:
+        while pending or in_flight:
+            while pending and len(in_flight) < workers:
+                submit(*pending.popleft())
+            done, _ = wait(set(in_flight), timeout=_POLL_S,
+                           return_when=FIRST_COMPLETED)
+            pool_broken = False
+            for future in done:
+                index, attempt, _started = in_flight.pop(future)
+                spec = job_specs[index]
+                try:
+                    result = future.result()
+                    result.attempts = attempt + 1
+                    results[index] = result
+                except BrokenProcessPool:
+                    # a worker died (e.g. segfault/OOM): the whole pool is
+                    # poisoned and we cannot tell which in-flight job did
+                    # it, so each gets one retry before being written off
+                    pool_broken = True
+                    if attempt < 1:
+                        pending.appendleft((index, attempt + 1))
+                    else:
+                        results[index] = _crash_result(
+                            spec, attempt + 1, "crashed",
+                            "worker process died twice running this job")
+                except Exception as exc:  # executor-level failure
+                    results[index] = _crash_result(
+                        spec, attempt + 1, "crashed",
+                        f"{type(exc).__name__}: {exc}")
+            if pool_broken:
+                recycle_pool()
+                continue
+            if timeout is not None and in_flight:
+                now = time.monotonic()
+                expired = [item for item in in_flight.items()
+                           if now - item[1][2] > timeout]
+                if expired:
+                    for future, (index, attempt, _started) in expired:
+                        del in_flight[future]
+                        results[index] = _crash_result(
+                            job_specs[index], attempt + 1, "timeout",
+                            f"job exceeded the {timeout:g}s per-job timeout")
+                    # hung workers still hold pool slots: recycle, keeping
+                    # the surviving in-flight jobs queued for resubmission
+                    recycle_pool()
+    finally:
+        _terminate_pool(executor)
+    return [results[index] for index in range(len(job_specs))]

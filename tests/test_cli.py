@@ -238,3 +238,32 @@ class TestDemoReports:
         # demo trace re-analyzes standalone
         assert main(["analyze", os.path.join(traces, "naive.prv")]) == 0
         assert "primary bottleneck" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_shorthand_sweep_with_out(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_cli.json")
+        assert main(["sweep", "gemm", "--dim", "16", "--threads", "4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", out]) == 0
+        text = capsys.readouterr().out
+        assert "5 jobs: 5 ok" in text
+        from repro.sweep import validate_sweep_file
+        doc = validate_sweep_file(out)
+        assert doc["totals"]["ok"] == 5
+
+    def test_spec_file_and_failure_exit_code(self, tmp_path, capsys):
+        import json
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"jobs": [
+            {"app": "pi", "steps": 6400},
+            {"app": "gemm", "version": "naive", "dim": 16, "threads": 3},
+        ]}))
+        assert main(["sweep", str(spec), "--no-cache"]) == 1
+        text = capsys.readouterr().out
+        assert "1 failed" in text
+        assert "multiple of" in text
+
+    def test_bad_spec_argument_clean_error(self):
+        with pytest.raises(SystemExit, match="cannot read sweep spec"):
+            main(["sweep", "/nonexistent.json"])

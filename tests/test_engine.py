@@ -126,6 +126,81 @@ def test_run_until_horizon():
     assert now == 30
 
 
+def test_run_until_horizon_advances_clock_when_heap_drains():
+    engine = Engine()
+
+    def proc():
+        yield 10
+
+    engine.spawn(proc())
+    # every event fires by t=10; "run until 50" still means the clock
+    # reaches the horizon (documented "run until the horizon" semantics)
+    assert engine.run(until=50) == 50
+    assert engine.now == 50
+
+
+def _interleaved_workload(engine, trace):
+    """Processes with same-cycle collisions; logs (time, name) tuples."""
+
+    def worker(name, delay):
+        for _ in range(4):
+            yield delay
+            trace.append((engine.now, name))
+
+    event = Event("go")
+
+    def setter():
+        yield 6
+        event.set(engine)
+
+    def waiter():
+        yield event
+        trace.append((engine.now, "waiter"))
+
+    # identical delays force same-timestamp FIFO ties every 6 cycles
+    engine.spawn(worker("a", 3))
+    engine.spawn(worker("b", 3))
+    engine.spawn(worker("c", 2))
+    engine.spawn(setter())
+    engine.spawn(waiter())
+
+
+def test_sliced_run_matches_uninterrupted_run():
+    """Pausing at horizons must not reorder same-cycle events (determinism)."""
+
+    straight = Engine()
+    trace_straight = []
+    _interleaved_workload(straight, trace_straight)
+    straight.run()
+
+    sliced = Engine()
+    trace_sliced = []
+    _interleaved_workload(sliced, trace_sliced)
+    for horizon in range(0, 13):  # resume mid-collision repeatedly
+        sliced.run(until=horizon)
+    sliced.run()
+
+    assert trace_sliced == trace_straight
+    assert sliced.stats() == straight.stats()
+
+
+def test_sliced_run_resumes_with_original_fifo_order():
+    """Pausing just before a same-cycle tie must not rotate its FIFO order."""
+
+    engine = Engine()
+    trace = []
+
+    def proc(name):
+        yield 5
+        trace.append(name)
+
+    engine.spawn(proc("a"))
+    engine.spawn(proc("b"))
+    engine.run(until=2)  # pause with the t=5 tie still queued
+    engine.run()
+    assert trace == ["a", "b"]
+
+
 def test_negative_delay_rejected():
     engine = Engine()
 

@@ -99,11 +99,43 @@ class TestEventBinning:
         trace = recorder.finalize(100)
         assert trace.event_series(EventKind.STALLS)[0, 0] == 5
 
-    def test_empty_range_degenerates_to_point(self):
+    def test_zero_length_range_is_noop(self):
+        """A range covering no cycles must not deposit anything (the
+        executor emits such ranges for zero-trip loops; depositing the
+        full amount double-counted them)."""
+
         recorder = make_recorder(period=100)
         recorder.add_range(150, 150, 0, EventKind.FLOPS, 3)
+        recorder.add_range(200, 150, 0, EventKind.FLOPS, 5)  # inverted
         trace = recorder.finalize(200)
-        assert trace.event_series(EventKind.FLOPS)[1, 0] == 3
+        assert trace.event_series(EventKind.FLOPS).sum() == 0
+
+    def test_degenerate_ranges_do_not_inflate_binned_totals(self):
+        """Binned totals equal the sum of real deposits only."""
+
+        recorder = make_recorder(period=100)
+        recorder.add_range(0, 50, 0, EventKind.FLOPS, 10)
+        recorder.add_range(50, 50, 0, EventKind.FLOPS, 10)   # zero-trip
+        recorder.add_range(50, 250, 0, EventKind.FLOPS, 200)
+        trace = recorder.finalize(300)
+        series = trace.event_series(EventKind.FLOPS)
+        assert series.sum() == pytest.approx(210)
+        assert series[0, 0] == pytest.approx(10 + 50)
+        assert series[1, 0] == pytest.approx(100)
+        assert series[2, 0] == pytest.approx(50)
+
+    def test_binning_grows_beyond_initial_capacity(self):
+        recorder = make_recorder(period=10)
+        last_bin = 4 * recorder._INITIAL_BINS + 3
+        recorder.add(last_bin * 10 + 5, 1, EventKind.FLOPS, 2)
+        recorder.add_range(0, (last_bin + 1) * 10, 0, EventKind.INTOPS,
+                           float(last_bin + 1))
+        trace = recorder.finalize((last_bin + 1) * 10)
+        flops = trace.event_series(EventKind.FLOPS)
+        assert flops.shape[0] == last_bin + 1
+        assert flops[last_bin, 1] == 2
+        intops = trace.event_series(EventKind.INTOPS)
+        assert intops[:, 0] == pytest.approx(np.ones(last_bin + 1))
 
     def test_zero_amount_ignored(self):
         recorder = make_recorder()
@@ -117,6 +149,18 @@ class TestEventBinning:
         recorder.add(10, 0, EventKind.STALLS, 5)
         trace = recorder.finalize(100)
         assert EventKind.STALLS not in trace.events
+
+    def test_missing_counter_raises_diagnostic(self):
+        """event_series/window_starts name the missing counter and the
+        recorded set instead of a bare KeyError."""
+
+        config = ProfilingConfig(events=(EventKind.FLOPS,))
+        recorder = ProfilingRecorder(config, 1)
+        trace = recorder.finalize(100)
+        with pytest.raises(KeyError, match="stalls.*not recorded.*flops"):
+            trace.event_series(EventKind.STALLS)
+        with pytest.raises(KeyError, match="ProfilingConfig.events"):
+            trace.window_starts(EventKind.MEM_READ_BYTES)
 
     def test_stragglers_clamped_into_last_bin(self):
         recorder = make_recorder(period=100)
