@@ -1,0 +1,157 @@
+"""Microbenchmark of the discrete-event engine's dispatch loop.
+
+Times the :class:`repro.sim.engine.Engine` on three synthetic workloads
+that isolate the dispatch paths the simulator leans on:
+
+* ``int_yield_ping`` — a handful of processes that each yield small
+  integer delays; exercises the sole-runnable inline fast path and the
+  heap round-trip.
+* ``same_cycle_fanout`` — many processes woken by one Event in the same
+  cycle; exercises FIFO same-cycle ordering through the heap.
+* ``spawn_heavy`` — a driver that keeps spawning short-lived child
+  processes and joins them; exercises spawn/done-event overhead.
+
+Each scenario reports events per second (``events_fired / wall``), with
+best-of-``--repeat`` wall time to shave scheduler noise.  Results land
+in ``BENCH_engine.json`` at the repo root (override with ``--out``) so
+perf changes to the engine have a pinned before/after artifact, the
+same role ``BENCH_gemm.json`` plays for the full simulator.
+
+Run:  PYTHONPATH=src python benchmarks/bench_engine.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.sim.engine import Engine, Event
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_engine.json")
+
+
+# ----------------------------------------------------------------------
+# scenarios — each builds a fresh engine, runs it, returns the engine
+# ----------------------------------------------------------------------
+def int_yield_ping(procs: int = 8, steps: int = 200_000) -> Engine:
+    """Processes yielding staggered integer delays."""
+
+    engine = Engine()
+
+    def worker(delay: int):
+        for _ in range(steps):
+            yield delay
+
+    for p in range(procs):
+        engine.spawn(worker(1 + p % 3), name=f"ping{p}")
+    engine.run()
+    return engine
+
+
+def same_cycle_fanout(waves: int = 2_000, width: int = 100) -> Engine:
+    """One trigger wakes ``width`` waiters in the same cycle, repeatedly."""
+
+    engine = Engine()
+    gates = [Event(f"gate{w}") for w in range(waves)]
+
+    def waiter():
+        for gate in gates:
+            yield gate
+
+    def trigger():
+        for gate in gates:
+            yield 1
+            gate.set(engine)
+
+    for p in range(width):
+        engine.spawn(waiter(), name=f"waiter{p}")
+    engine.spawn(trigger(), name="trigger")
+    engine.run()
+    return engine
+
+
+def spawn_heavy(children: int = 100_000) -> Engine:
+    """A driver spawning and joining short-lived children."""
+
+    engine = Engine()
+
+    def child():
+        yield 1
+
+    def driver():
+        for _ in range(children):
+            yield engine.spawn(child(), name="c")
+
+    engine.spawn(driver(), name="driver")
+    engine.run()
+    return engine
+
+
+SCENARIOS = {
+    "int_yield_ping": int_yield_ping,
+    "same_cycle_fanout": same_cycle_fanout,
+    "spawn_heavy": spawn_heavy,
+}
+
+
+# ----------------------------------------------------------------------
+def bench(repeat: int) -> dict:
+    scenarios = {}
+    for name, fn in SCENARIOS.items():
+        best_wall = None
+        engine = None
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            engine = fn()
+            wall = time.perf_counter() - t0
+            if best_wall is None or wall < best_wall:
+                best_wall = wall
+        stats = engine.stats()
+        scenarios[name] = {
+            "wall_s": round(best_wall, 4),
+            "events_fired": stats["events_fired"],
+            "processes_spawned": stats["processes_spawned"],
+            "heap_peak": stats["heap_peak"],
+            "final_cycle": engine.now,
+            "events_per_sec": round(stats["events_fired"] / best_wall),
+        }
+    return scenarios
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repeats per scenario; best wall wins")
+    args = parser.parse_args(argv)
+
+    scenarios = bench(max(1, args.repeat))
+    payload = {
+        "schema": "repro.bench_engine/1",
+        "name": "engine-dispatch",
+        "repeat": max(1, args.repeat),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "scenarios": scenarios,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    for name, row in scenarios.items():
+        print(f"{name:<20} {row['events_fired']:>9} events  "
+              f"{row['wall_s']:>7.3f}s  {row['events_per_sec']:>10,} ev/s")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -137,6 +137,9 @@ class LoopNode:
     ii: int = 1
     rec_ii: int = 1
     depth: int = 1
+    #: stable index in walk_loops() order (like :attr:`Segment.uid`);
+    #: keys per-simulation caches so they survive pickle round-trips
+    uid: int = -1
 
 
 @dataclass
@@ -258,6 +261,8 @@ def _assign_local_groups(schedule: KernelSchedule) -> None:
     segments = list(schedule.body.walk_segments())
     for index, segment in enumerate(segments):
         segment.uid = index
+    for index, loop in enumerate(schedule.body.walk_loops()):
+        loop.uid = index
     local_accesses: list[list[Access]] = []
     for segment in segments:
         acc = []

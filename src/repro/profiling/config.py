@@ -47,6 +47,12 @@ class EventKind(enum.Enum):
     MEM_READ_BYTES = "mem_read_bytes"
     MEM_WRITE_BYTES = "mem_write_bytes"
 
+    # members are singletons and compare by identity, so the identity
+    # hash is consistent with equality — and C-level, unlike
+    # ``Enum.__hash__`` which rehashes the member name on every dict or
+    # set lookup (the recorder does millions of those per run)
+    __hash__ = object.__hash__
+
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
 

@@ -111,12 +111,17 @@ class ProfilingRecorder:
         self.num_threads = num_threads
         self._state_log: list[list[tuple[int, ThreadState]]] = [
             [(0, ThreadState.IDLE)] for _ in range(num_threads)]
-        # one preallocated [capacity, threads] array per counter kind
-        # (scatter-adds go straight into contiguous rows — no per-bin
-        # dict lookups or allocations on the hot path)
+        # one preallocated [capacity, threads] array per counter kind;
+        # deposits first accumulate in per-kind dicts ((bin, thread) ->
+        # running sum, in deposit order, so the floating-point result
+        # is bit-identical to adding into the array cell directly) and
+        # are flushed into the arrays once at finalize — a dict upsert
+        # is several times cheaper than a numpy scalar indexed add
         self._series: dict[EventKind, np.ndarray] = {
             kind: np.zeros((self._INITIAL_BINS, num_threads))
             for kind in config.events}
+        self._accum: dict[EventKind, dict] = {
+            kind: {} for kind in config.events}
         self._used_bins: dict[EventKind, int] = {
             kind: 0 for kind in config.events}
         self._enabled_kinds = set(config.events)
@@ -147,7 +152,9 @@ class ProfilingRecorder:
         if kind not in self._enabled_kinds or amount == 0:
             return
         index = cycle // self.config.sampling_period
-        self._rows(kind, index)[index, thread] += amount
+        bucket = self._accum[kind]
+        key = (index, thread)
+        bucket[key] = bucket.get(key, 0.0) + amount
 
     def add_range(self, start: int, end: int, thread: int, kind: EventKind,
                   amount: float) -> None:
@@ -164,17 +171,54 @@ class ProfilingRecorder:
         period = self.config.sampling_period
         first_bin = start // period
         last_bin = (end - 1) // period
-        series = self._rows(kind, last_bin)
+        bucket = self._accum[kind]
         if first_bin == last_bin:
-            series[first_bin, thread] += amount
+            key = (first_bin, thread)
+            bucket[key] = bucket.get(key, 0.0) + amount
             return
-        # vectorized scatter over the covered bins: per-bin overlap with
-        # [start, end) as a weight vector, added into contiguous rows
+        # per-bin overlap with [start, end) as a weight vector
         edges = np.arange(first_bin, last_bin + 2, dtype=np.int64) * period
         lo = np.maximum(edges[:-1], start)
         hi = np.minimum(edges[1:], end)
-        series[first_bin:last_bin + 1, thread] += \
-            (hi - lo) * (amount / (end - start))
+        shares = (hi - lo) * (amount / (end - start))
+        for index, share in enumerate(shares.tolist(), first_bin):
+            key = (index, thread)
+            bucket[key] = bucket.get(key, 0.0) + share
+
+    def add_many(self, start: int, end: int, thread: int, pairs) -> None:
+        """Deposit several event kinds over one shared [start, end) range.
+
+        Semantically identical to calling :meth:`add_range` once per
+        ``(kind, amount)`` pair — including bit-exact floating-point
+        results, the per-bin weights are computed with the same
+        expressions — but the bin arithmetic is shared across the pairs.
+        """
+
+        if end <= start:
+            return
+        period = self.config.sampling_period
+        first_bin = start // period
+        last_bin = (end - 1) // period
+        enabled = self._enabled_kinds
+        accum = self._accum
+        if first_bin == last_bin:
+            key = None
+            for kind, amount in pairs:
+                if amount and kind in enabled:
+                    if key is None:
+                        key = (first_bin, thread)
+                    bucket = accum[kind]
+                    bucket[key] = bucket.get(key, 0.0) + amount
+            return
+        edges = np.arange(first_bin, last_bin + 2, dtype=np.int64) * period
+        span = np.minimum(edges[1:], end) - np.maximum(edges[:-1], start)
+        for kind, amount in pairs:
+            if amount and kind in enabled:
+                bucket = accum[kind]
+                shares = span * (amount / (end - start))
+                for index, share in enumerate(shares.tolist(), first_bin):
+                    key = (index, thread)
+                    bucket[key] = bucket.get(key, 0.0) + share
 
     def _rows(self, kind: EventKind, index: int) -> np.ndarray:
         """The kind's [capacity, threads] array, grown to hold ``index``."""
@@ -236,6 +280,14 @@ class ProfilingRecorder:
             states.append([StateInterval(thread, log[i][1],
                                          int(starts[i]), int(ends[i]))
                            for i in keep])
+
+        # drain the deposit accumulators into the per-kind arrays (each
+        # cell receives the sum of its deposits, accumulated in deposit
+        # order — bit-identical to per-deposit array adds)
+        for kind, bucket in self._accum.items():
+            for (index, thread), amount in bucket.items():
+                self._rows(kind, index)[index, thread] += amount
+            bucket.clear()
 
         period = self.config.sampling_period
         n_bins = max(1, -(-max(1, end_cycle) // period))

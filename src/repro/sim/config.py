@@ -67,3 +67,9 @@ class SimConfig:
     max_cycles: int = 4_000_000_000
     #: extra cycles for kernel start (context load) per launch
     launch_overhead: int = 200
+    #: pipelined-loop execution strategy: ``"auto"``/``"vectorized"``
+    #: use the trip-batched numpy fast path (falling back to the scalar
+    #: interpreter per loop when a segment is not vectorizable),
+    #: ``"reference"`` forces the scalar oracle everywhere.  All modes
+    #: produce bit-identical cycles, traces, stalls and DRAM counters.
+    exec_mode: str = "auto"

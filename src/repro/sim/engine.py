@@ -105,31 +105,98 @@ class Engine:
         """Run until no events remain (or the ``until`` horizon); returns now.
 
         Pausing at a horizon and resuming is *exactly* equivalent to an
-        uninterrupted run: over-horizon events stay in the heap with
-        their original sequence numbers (peeked, never re-pushed), so
-        same-cycle FIFO order is identical either way, and a drained
-        heap still advances the clock to the horizon.
+        uninterrupted run: over-horizon events stay in the heap (peeked,
+        never re-popped) or are parked with a fresh sequence number only
+        when no same-cycle competitor exists, so same-cycle FIFO order
+        is identical either way, and a drained heap still advances the
+        clock to the horizon.
+
+        The dispatch loop is inlined (no per-event ``_step`` call) and
+        the dominant ``yield int`` command takes a fast path: while the
+        woken process remains the *sole* runnable one (its wakeup is
+        strictly earlier than the next queued event), it keeps stepping
+        without a heap round-trip.  Tie cases always go through the
+        heap, preserving FIFO order among same-cycle events.
         """
 
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        seq_next = self._seq.__next__
+        fired = self.events_fired
+        try:
+            while heap:
+                if until is not None and heap[0][0] > until:
+                    self.now = until
+                    return until
+                when, _, process = pop(heap)
+                self.now = when
+                generator = process.generator
+                while True:
+                    fired += 1
+                    try:
+                        command = next(generator)
+                    except StopIteration:
+                        self._active -= 1
+                        process.done.set(self)
+                        break
+                    if type(command) is int:
+                        if command < 0:
+                            raise RuntimeError(
+                                f"negative delay {command} from "
+                                f"{process.name!r}")
+                        wake = self.now + command
+                        if (until is None or wake <= until) and \
+                                (not heap or wake < heap[0][0]):
+                            self.now = wake  # sole runnable: step inline
+                            continue
+                        push(heap, (wake, seq_next(), process))
+                        if len(heap) > self.heap_peak:
+                            self.heap_peak = len(heap)
+                        break
+                    if isinstance(command, Event):
+                        if command.triggered:
+                            push(heap, (self.now, seq_next(), process))
+                            if len(heap) > self.heap_peak:
+                                self.heap_peak = len(heap)
+                        else:
+                            command.waiters.append(process)
+                        break
+                    if isinstance(command, Process):
+                        done = command.done
+                        if done.triggered:
+                            push(heap, (self.now, seq_next(), process))
+                            if len(heap) > self.heap_peak:
+                                self.heap_peak = len(heap)
+                        else:
+                            done.waiters.append(process)
+                        break
+                    if isinstance(command, int):  # bool / IntEnum delays
+                        if command < 0:
+                            raise RuntimeError(
+                                f"negative delay {command} from "
+                                f"{process.name!r}")
+                        push(heap, (self.now + int(command), seq_next(),
+                                    process))
+                        if len(heap) > self.heap_peak:
+                            self.heap_peak = len(heap)
+                        break
+                    raise TypeError(f"process {process.name!r} yielded "
+                                    f"unsupported command {command!r}")
+            if until is not None and until > self.now:
                 self.now = until
-                return self.now
-            when, _, process = heapq.heappop(self._heap)
-            self.now = when
-            self.events_fired += 1
-            self._step(process)
-        if until is not None and until > self.now:
-            self.now = until
-        return self.now
+            return self.now
+        finally:
+            self.events_fired = fired
 
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, int]:
         """Engine counters — one source of truth for telemetry and tests.
 
-        ``events_fired`` counts scheduler dispatches (heap pops),
-        ``queue_length`` the events still pending, ``heap_peak`` the
-        event-queue high-water mark.
+        ``events_fired`` counts process dispatches (generator
+        resumptions, whether reached via a heap pop or the inline
+        fast path), ``queue_length`` the events still pending,
+        ``heap_peak`` the event-queue high-water mark.
         """
 
         return {
@@ -140,33 +207,6 @@ class Engine:
             "processes_spawned": self.processes_spawned,
             "heap_peak": self.heap_peak,
         }
-
-    def _step(self, process: Process) -> None:
-        try:
-            command = next(process.generator)
-        except StopIteration:
-            self._active -= 1
-            process.done.set(self)
-            return
-        if isinstance(command, int):
-            if command < 0:
-                raise RuntimeError(f"negative delay {command} from "
-                                   f"{process.name!r}")
-            self.schedule(self.now + command, process)
-        elif isinstance(command, Event):
-            if command.triggered:
-                self.schedule(self.now, process)
-            else:
-                command.waiters.append(process)
-        elif isinstance(command, Process):
-            done = command.done
-            if done.triggered:
-                self.schedule(self.now, process)
-            else:
-                done.waiters.append(process)
-        else:
-            raise TypeError(f"process {process.name!r} yielded "
-                            f"unsupported command {command!r}")
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -27,6 +27,7 @@ effect the π case study visualizes (Figs. 11-13).
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional, Union
 
@@ -45,6 +46,7 @@ from ..profiling.config import EventKind, ProfilingConfig, ThreadState
 from ..profiling.recorder import ProfilingRecorder, RunTrace
 from .config import SimConfig
 from .engine import Engine, Event
+from .fastpath import LoopPlan, build_plan, run_fast_chunk
 from .interp import (
     CompiledSegment, KernelFunctionalContext, ThreadMemView, compile_segment,
 )
@@ -131,8 +133,13 @@ class Simulation:
                  config: Optional[SimConfig] = None):
         self.acc = accelerator
         self.config = config or SimConfig()
+        if self.config.exec_mode not in ("auto", "vectorized", "reference"):
+            raise ValueError(
+                f"unknown exec_mode {self.config.exec_mode!r}: expected "
+                f"'auto', 'vectorized' or 'reference'")
         self.kernel: Kernel = accelerator.kernel
         self._compiled: dict[int, CompiledSegment] = {}
+        self._plans: dict[int, Optional[LoopPlan]] = {}
         self._external_uses = self._compute_external_uses()
 
     # ------------------------------------------------------------------
@@ -143,13 +150,13 @@ class Simulation:
         for segment in self.acc.schedule.body.walk_segments():
             for op in segment.ops:
                 if op.result is not None:
-                    defining[op.result.id] = id(segment)
+                    defining[op.result.id] = segment.uid
         external: set[int] = set()
         for segment in self.acc.schedule.body.walk_segments():
             for op in segment.ops:
                 for operand in op.operands:
                     home = defining.get(operand.id)
-                    if home is not None and home != id(segment):
+                    if home is not None and home != segment.uid:
                         external.add(operand.id)
         # operands of structured ops (loop bounds, if conditions)
         for op in self.kernel.walk():
@@ -160,11 +167,22 @@ class Simulation:
         return external
 
     def _get_compiled(self, segment: Segment) -> CompiledSegment:
-        cs = self._compiled.get(id(segment))
+        cs = self._compiled.get(segment.uid)
         if cs is None:
             cs = compile_segment(segment, self._external_uses, self.kernel)
-            self._compiled[id(segment)] = cs
+            self._compiled[segment.uid] = cs
         return cs
+
+    def _get_loop_plan(self, item: LoopNode) -> Optional[LoopPlan]:
+        if item.uid < 0:  # hand-built schedule: no stable cache key
+            return None
+        if item.uid not in self._plans:
+            segment = item.body.items[0] if item.body.items else None
+            has_group = isinstance(segment, Segment) and \
+                self.acc.schedule.local_groups.get(segment.uid) is not None
+            self._plans[item.uid] = build_plan(item, self._external_uses,
+                                               has_group)
+        return self._plans[item.uid]
 
     # ------------------------------------------------------------------
     def run(self, args: Mapping[str, Union[np.ndarray, int, float]],
@@ -222,7 +240,7 @@ class Simulation:
         end = max(runtime.finish_time, memory.quiesce_time())
         trace = recorder.finalize(end)
         trace.flushes = recorder.flushes
-        self._record_telemetry(engine, memory, end, wall_start)
+        self._record_telemetry(runtime, end, wall_start)
         return SimResult(
             cycles=end,
             clock_mhz=clock_mhz if clock_mhz is not None
@@ -238,9 +256,9 @@ class Simulation:
 
     # ------------------------------------------------------------------
     @staticmethod
-    def _record_telemetry(engine: Engine, memory: ExternalMemory,
-                          end: int, wall_start: float) -> None:
-        """Report engine/DRAM counters into the toolchain telemetry.
+    def _record_telemetry(runtime: "_Runtime", end: int,
+                          wall_start: float) -> None:
+        """Report engine/DRAM/fast-path counters into the telemetry.
 
         Pure observation of counters the models already keep — the
         simulated cycle counts are bit-identical with telemetry on or
@@ -249,6 +267,7 @@ class Simulation:
 
         if not telemetry.telemetry_enabled():
             return
+        engine, memory = runtime.engine, runtime.memory
         stats = engine.stats()
         telemetry.add("sim.events_fired", stats["events_fired"])
         telemetry.add("sim.processes_spawned", stats["processes_spawned"])
@@ -263,6 +282,9 @@ class Simulation:
         telemetry.add("sim.dram.bytes_written", memory.bytes_written)
         telemetry.add("sim.dram.arbitration_wait_cycles",
                       memory.arbitration_wait_cycles)
+        telemetry.add("sim.fastpath.batches", runtime.fp_batches)
+        telemetry.add("sim.fastpath.iters_vectorized", runtime.fp_iters)
+        telemetry.add("sim.fastpath.fallbacks", runtime.fp_fallbacks)
 
     # ------------------------------------------------------------------
     def _bind_args(self, args: Mapping[str, Any], memory: ExternalMemory):
@@ -325,8 +347,22 @@ class _Runtime:
         self.loop_states: dict[int, _LoopState] = {}
         #: local-memory conflict group id -> port cursor (BRAM port sharing)
         self.group_states: dict[int, _LoopState] = {}
+        #: id(LoopNode) -> invariants tuple (see _make_loop_rt)
+        self.loop_rts: dict[int, tuple] = {}
         #: cycle at which the last hardware thread finished
         self.finish_time = 0
+        self.fast_enabled = sim.config.exec_mode != "reference"
+        #: fast-path accounting (sim.fastpath.* telemetry)
+        self.fp_batches = 0
+        self.fp_iters = 0
+        self.fp_fallbacks = 0
+        #: loop uid -> static argument tail for the plan's timing loop
+        self.tl_static: dict[int, tuple] = {}
+        #: per-thread (read, write) port history lists, hoisted out of
+        #: the per-chunk path
+        self.port_hists = [
+            (ports._history[(t, False)], ports._history[(t, True)])
+            for t in range(len(stalls))]
 
     # ------------------------------------------------------------------
     def thread_main(self, tid: int, ctx: KernelFunctionalContext):
@@ -344,7 +380,12 @@ class _Runtime:
             return
         if self._is_sequential(deps):
             for item in items:
-                yield from self.run_item(item, tid, ctx)
+                # dispatch segments directly: one generator frame less
+                # on the most common item kind
+                if type(item) is Segment:
+                    yield from self.run_segment(item, tid, ctx)
+                else:
+                    yield from self.run_item(item, tid, ctx)
             return
         # dataflow execution: spawn one process per item
         events = [Event(f"item{i}") for i in range(len(items))]
@@ -427,26 +468,39 @@ class _Runtime:
     def run_segment(self, segment: Segment, tid: int,
                     ctx: KernelFunctionalContext):
         compiled = self.sim._get_compiled(segment)
+        values = ctx.values
+        if not segment.mem_ops:
+            # no external accesses: skip the trace and port machinery
+            outs = compiled.fn(ctx, ctx.vars, ctx.mem,
+                               *[values[vid] for vid in compiled.inputs])
+            for vid, value in zip(compiled.outputs, outs):
+                values[vid] = value
+            now = self.engine.now
+            self.recorder.add_many(now, now + segment.depth, tid, (
+                (EventKind.FLOPS, segment.flops),
+                (EventKind.INTOPS, segment.intops)))
+            yield segment.depth
+            return
         mem = ctx.mem
         mem.trace.clear()
         self._call_segment(compiled, ctx)
         now = self.engine.now
         extra = self._issue_mem(segment, tid, mem.trace, now)
         duration = segment.depth + extra
-        recorder = self.recorder
         end = now + duration
-        if segment.flops:
-            recorder.add_range(now, end, tid, EventKind.FLOPS, segment.flops)
-        if segment.intops:
-            recorder.add_range(now, end, tid, EventKind.INTOPS, segment.intops)
-        rbytes = sum(n for _, n, w, _ in mem.trace if not w)
-        wbytes = sum(n for _, n, w, _ in mem.trace if w)
-        if rbytes:
-            recorder.add_range(now, end, tid, EventKind.MEM_READ_BYTES, rbytes)
-        if wbytes:
-            recorder.add_range(now, end, tid, EventKind.MEM_WRITE_BYTES, wbytes)
+        rbytes = wbytes = 0
+        for _, nbytes, is_write, _name in mem.trace:
+            if is_write:
+                wbytes += nbytes
+            else:
+                rbytes += nbytes
+        self.recorder.add_many(now, end, tid, (
+            (EventKind.FLOPS, segment.flops),
+            (EventKind.INTOPS, segment.intops),
+            (EventKind.MEM_READ_BYTES, rbytes),
+            (EventKind.MEM_WRITE_BYTES, wbytes),
+            (EventKind.STALLS, extra)))
         if extra:
-            recorder.add_range(now, end, tid, EventKind.STALLS, extra)
             self.stalls[tid] += extra
         yield duration
 
@@ -458,10 +512,49 @@ class _Runtime:
         upper = ctx.values[op.operands[1].id]
         step = ctx.values[op.operands[2].id]
         iv_id = op.defined[0].id
+        values = ctx.values
+        body = item.body
+        seq = self._is_sequential(body.deps) and body.items
         for iv in range(lower, upper, step):
-            ctx.values[iv_id] = iv
+            values[iv_id] = iv
             yield 1  # loop-control bubble between iterations
-            yield from self.run_body(item.body, tid, ctx)
+            if seq:
+                # inline the sequential run_body: this loop re-enters
+                # its body once per trip
+                for it in body.items:
+                    if type(it) is Segment:
+                        yield from self.run_segment(it, tid, ctx)
+                    elif type(it) is LoopNode and it.pipelined:
+                        yield from self.run_pipelined_loop(it, tid, ctx)
+                    else:
+                        yield from self.run_item(it, tid, ctx)
+            else:
+                yield from self.run_body(body, tid, ctx)
+
+    def _make_loop_rt(self, item: LoopNode):
+        """Per-loop invariants, computed once instead of per invocation.
+
+        Short pipelined loops (the naive GEMM's inner loop runs 8
+        trips) are re-entered tens of thousands of times; the schedule
+        and config lookups here used to dominate their setup cost.
+        """
+
+        segment = item.body.items[0]
+        assert isinstance(segment, Segment)
+        compiled = self.sim._get_compiled(segment)
+        plan = self.sim._get_loop_plan(item) if self.fast_enabled else None
+        state = self.loop_states.setdefault(id(item), _LoopState())
+        schedule = self.sim.acc.schedule
+        group_id = schedule.local_groups.get(segment.uid)
+        group = None
+        group_cost = 0
+        if group_id is not None:
+            group = self.group_states.setdefault(group_id, _LoopState())
+            group_cost = max(1, schedule.local_costs.get(segment.uid, 1))
+        return (segment, compiled, plan, state, group, group_cost,
+                item.op.defined[0].id, max(1, self.sim.config.loop_chunk),
+                max(1, self.sim.config.pipeline_window), item.ii,
+                item.rec_ii, item.depth)
 
     def run_pipelined_loop(self, item: LoopNode, tid: int,
                            ctx: KernelFunctionalContext):
@@ -476,88 +569,93 @@ class _Runtime:
             yield trips * item.ii + item.depth
             return
 
-        segment = item.body.items[0]
-        assert isinstance(segment, Segment)
-        compiled = self.sim._get_compiled(segment)
-        state = self.loop_states.setdefault(id(item), _LoopState())
-        schedule = self.sim.acc.schedule
-        group_id = schedule.local_groups.get(segment.uid)
-        group = None
-        group_cost = 0
-        if group_id is not None:
-            group = self.group_states.setdefault(group_id, _LoopState())
-            group_cost = max(1, schedule.local_costs.get(segment.uid, 1))
+        rt = self.loop_rts.get(id(item))
+        if rt is None:
+            rt = self._make_loop_rt(item)
+            self.loop_rts[id(item)] = rt
+        (segment, compiled, plan, state, group, group_cost, iv_id, chunk,
+         window, ii, rec_ii, depth) = rt
         recorder = self.recorder
         mem = ctx.mem
-        iv_id = op.defined[0].id
-        chunk = max(1, self.sim.config.loop_chunk)
-        window = max(1, self.sim.config.pipeline_window)
-        ii, rec_ii, depth = item.ii, item.rec_ii, item.depth
 
         cursor = self.engine.now  # this thread's next possible issue
         last_retire = cursor
-        inflight: list[int] = []  # retire times of in-flight iterations
+        # retire times of in-flight iterations
+        inflight: deque[int] = deque()
         iv = lower
         remaining = trips
         while remaining > 0:
             batch = min(chunk, remaining)
             chunk_start = cursor
-            chunk_flops = 0
-            chunk_intops = 0
-            chunk_rbytes = 0
-            chunk_wbytes = 0
-            chunk_stall = 0
-            for _ in range(batch):
-                issue = state.book(cursor, ii)
-                if group is not None:
-                    issue = group.book(issue, group_cost)
-                if len(inflight) >= window:
-                    # stage buffers full: a late memory response now stalls
-                    # this thread's pipeline (backpressure)
-                    oldest = inflight.pop(0)
-                    if oldest - depth > issue:
-                        chunk_stall += oldest - depth - issue
-                        issue = oldest - depth
-                ctx.values[iv_id] = iv
-                mem.trace.clear()
-                self._call_segment(compiled, ctx)
-                extra = 0
-                if segment.mem_ops:
-                    extra = self._issue_mem(segment, tid, mem.trace, issue)
-                    if extra < 0:
-                        extra = 0
-                    for _, nbytes, is_write, _name in mem.trace:
-                        if is_write:
-                            chunk_wbytes += nbytes
-                        else:
-                            chunk_rbytes += nbytes
-                retire = issue + depth + extra
-                inflight.append(retire)
-                cursor = issue + rec_ii
-                # a late response suspends the consuming stage for `extra`
-                # cycles (§IV-B.2a) even when reordering hides it globally
-                chunk_stall += extra
-                chunk_flops += segment.flops
-                chunk_intops += segment.intops
-                if retire > last_retire:
-                    last_retire = retire
-                iv += step
-            remaining -= batch
-            if chunk_flops:
-                recorder.add_range(chunk_start, last_retire, tid,
-                                   EventKind.FLOPS, chunk_flops)
-            if chunk_intops:
-                recorder.add_range(chunk_start, last_retire, tid,
-                                   EventKind.INTOPS, chunk_intops)
-            if chunk_rbytes:
-                recorder.add_range(chunk_start, last_retire, tid,
-                                   EventKind.MEM_READ_BYTES, chunk_rbytes)
-            if chunk_wbytes:
-                recorder.add_range(chunk_start, last_retire, tid,
-                                   EventKind.MEM_WRITE_BYTES, chunk_wbytes)
+            fast = None
+            if plan is not None:
+                fast = run_fast_chunk(self, plan, item, tid, ctx, state,
+                                      group, group_cost, window, inflight,
+                                      iv, step, batch, cursor)
+            if fast is not None:
+                cursor, retire_hi, chunk_stall = fast
+                self.fp_batches += 1
+                self.fp_iters += batch
+                chunk_flops = segment.flops * batch
+                chunk_intops = segment.intops * batch
+                chunk_rbytes = plan.rbytes_iter * batch
+                chunk_wbytes = plan.wbytes_iter * batch
+                if retire_hi > last_retire:
+                    last_retire = retire_hi
+                iv += step * batch
+                remaining -= batch
+            else:
+                if self.fast_enabled:
+                    self.fp_fallbacks += 1
+                chunk_flops = 0
+                chunk_intops = 0
+                chunk_rbytes = 0
+                chunk_wbytes = 0
+                chunk_stall = 0
+                for _ in range(batch):
+                    issue = state.book(cursor, ii)
+                    if group is not None:
+                        issue = group.book(issue, group_cost)
+                    if len(inflight) >= window:
+                        # stage buffers full: a late memory response now
+                        # stalls this thread's pipeline (backpressure)
+                        oldest = inflight.popleft()
+                        if oldest - depth > issue:
+                            chunk_stall += oldest - depth - issue
+                            issue = oldest - depth
+                    ctx.values[iv_id] = iv
+                    mem.trace.clear()
+                    self._call_segment(compiled, ctx)
+                    extra = 0
+                    if segment.mem_ops:
+                        extra = self._issue_mem(segment, tid, mem.trace, issue)
+                        if extra < 0:
+                            extra = 0
+                        for _, nbytes, is_write, _name in mem.trace:
+                            if is_write:
+                                chunk_wbytes += nbytes
+                            else:
+                                chunk_rbytes += nbytes
+                    retire = issue + depth + extra
+                    inflight.append(retire)
+                    cursor = issue + rec_ii
+                    # a late response suspends the consuming stage for
+                    # `extra` cycles (§IV-B.2a) even when reordering hides
+                    # it globally
+                    chunk_stall += extra
+                    chunk_flops += segment.flops
+                    chunk_intops += segment.intops
+                    if retire > last_retire:
+                        last_retire = retire
+                    iv += step
+                remaining -= batch
+            recorder.add_many(chunk_start, last_retire, tid, (
+                (EventKind.FLOPS, chunk_flops),
+                (EventKind.INTOPS, chunk_intops),
+                (EventKind.MEM_READ_BYTES, chunk_rbytes),
+                (EventKind.MEM_WRITE_BYTES, chunk_wbytes),
+                (EventKind.STALLS, chunk_stall)))
             if chunk_stall:
-                recorder.add_range(chunk_start, last_retire, tid,
-                                   EventKind.STALLS, chunk_stall)
                 self.stalls[tid] += chunk_stall
             # re-synchronize with the other thread processes
             advance = cursor - self.engine.now

@@ -1,0 +1,367 @@
+"""Trip-batched execution of pipelined leaf loops.
+
+The scalar reference in :mod:`repro.sim.executor` walks a pipelined
+loop one iteration at a time: functional evaluation through the
+compiled segment, then leaky-bucket issue booking, window backpressure
+and per-access DRAM booking.  This module executes the same loop one
+*chunk* (``SimConfig.loop_chunk`` trips) at a time:
+
+* the functional work runs once per chunk through a
+  :class:`~repro.sim.interp.VectorizedSegment` (numpy over the trip
+  axis), which also yields the external-access element indices the
+  timing model needs;
+* for loops without external *reads* the leaky-bucket issue recurrence
+  ``issue_k = max(earliest_k, issue_{k-1} + rec_ii)`` is solved in
+  closed form with a cumulative maximum (window backpressure cannot
+  bind because retire times are monotone when ``extra`` is zero — the
+  executor still re-checks the precondition against the in-flight
+  window before trusting this);
+* loops with reads keep the exact per-trip recurrence — a late DRAM
+  response feeds back into the next issue — but run it as a tight
+  local loop over precomputed address lists, reusing the *same*
+  ``PortSet.request`` state machine as the reference.
+
+Every decision point falls back to replaying the batch through the
+reference scalar machinery (:class:`~repro.sim.interp.VectorFallback`
+is raised before any functional side effect), so all modes produce
+bit-identical cycles, traces, stalls and DRAM counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hls.schedule import LoopNode, Segment
+from ..ir.ops import Opcode
+from .interp import (
+    VectorFallback, VectorizeError, VectorizedSegment, _elem_bytes, _lanes,
+    compile_segment_vectorized,
+)
+
+__all__ = ["LoopPlan", "build_plan", "run_fast_chunk"]
+
+#: (open row, ready time) for a bank never touched — as ExternalMemory
+_NO_ROW = (-1, 0)
+
+_IOTA = np.arange(64, dtype=np.int64)
+
+
+def _iota(n: int) -> np.ndarray:
+    """A read-only ``arange(n)`` served from a grow-only cache."""
+
+    global _IOTA
+    if n > _IOTA.shape[0]:
+        _IOTA = np.arange(n, dtype=np.int64)
+    return _IOTA[:n]
+
+
+@dataclass
+class LoopPlan:
+    """Everything the fast path needs about one pipelined loop."""
+
+    vseg: VectorizedSegment
+    iv_id: int
+    #: per external access, in segment order: (stage offset, stage
+    #: offset + scheduled latency, bytes moved, is_write, buffer name)
+    mem: list[tuple[int, int, int, bool, str]]
+    has_reads: bool
+    rbytes_iter: int
+    wbytes_iter: int
+    #: exec-compiled per-trip timing recurrence (see
+    #: :func:`_compile_timing_loop`)
+    tfn: object
+
+
+def build_plan(item: LoopNode, external_uses: set[int], has_group: bool):
+    """Compile the loop's body for batched execution (None if unsupported)."""
+
+    if len(item.body.items) != 1:
+        return None
+    segment = item.body.items[0]
+    if not isinstance(segment, Segment) or segment.uid < 0:
+        return None
+    iv_id = item.op.defined[0].id
+    try:
+        vseg = compile_segment_vectorized(segment, external_uses, iv_id)
+    except VectorizeError:
+        return None
+    mem: list[tuple[int, int, int, bool, str]] = []
+    rbytes = wbytes = 0
+    for memop in segment.mem_ops:
+        op = memop.op
+        base = op.operands[0]
+        # byte counts exactly as ThreadMemView traces them
+        if op.opcode is Opcode.LOAD:
+            nbytes = _lanes(op.result.type) * _elem_bytes(base.type.elem)
+        else:
+            nbytes = _lanes(op.operands[2].type) * _elem_bytes(base.type.elem)
+        mem.append((memop.start, memop.start + memop.sched_latency, nbytes,
+                    memop.is_write, base.name))
+        if memop.is_write:
+            wbytes += nbytes
+        else:
+            rbytes += nbytes
+    tfn = _compile_timing_loop(mem, has_group, item.uid)
+    return LoopPlan(vseg, iv_id, mem, any(not m[3] for m in mem),
+                    rbytes, wbytes, tfn)
+
+
+def run_fast_chunk(runtime, plan: LoopPlan, item: LoopNode, tid: int, ctx,
+                   state, group, group_cost: int, window: int, inflight,
+                   iv: int, step: int, batch: int, cursor: int):
+    """Execute one chunk of ``batch`` trips; ``None`` requests a scalar redo.
+
+    On success returns ``(cursor, retire_max, stall)`` with all shared
+    state (values/vars/buffers, bucket states, in-flight window, ports,
+    DRAM) advanced exactly as ``batch`` reference iterations would have
+    left it.
+    """
+
+    vseg = plan.vseg
+    values = ctx.values
+    ivs = iv + step * _iota(batch)
+    try:
+        outs, idxs = vseg.fn(ctx, ctx.vars, ctx.mem, ivs, batch,
+                             *[values[vid] for vid in vseg.inputs])
+    except VectorFallback:
+        return None
+    for vid, value in zip(vseg.outputs, outs):
+        values[vid] = value
+    values[plan.iv_id] = int(ivs[-1])
+
+    buffers = runtime.buffers
+    depth, ii, rec_ii = item.depth, item.ii, item.rec_ii
+    if plan.has_reads or (inflight and max(inflight) - depth > cursor):
+        # DRAM lateness feeds back into the issue recurrence (or an
+        # earlier scalar chunk left a non-monotone window): replay the
+        # exact per-trip machinery over the precomputed addresses.
+        return _run_timing_loop(runtime, plan, item, tid, state, group,
+                                group_cost, window, inflight, batch, cursor,
+                                idxs)
+    issue = _closed_form_issue(state, group, group_cost, ii, rec_ii, batch,
+                               cursor)
+    if issue is None:  # an epoch reset inside the batch: replay exactly
+        return _run_timing_loop(runtime, plan, item, tid, state, group,
+                                group_cost, window, inflight, batch, cursor,
+                                idxs)
+    if len(plan.mem) == 1:
+        start, _off, nbytes, is_write, name = plan.mem[0]
+        buf = buffers[name]
+        addrs = (buf.base_addr + idxs[0] * buf.elem_bytes).tolist()
+        runtime.ports.request_many(tid, (issue + start).tolist(), addrs,
+                                   nbytes, is_write)
+    elif plan.mem:
+        request = runtime.ports.request
+        mems = []
+        for (start, _off, nbytes, is_write, name), idx in zip(plan.mem,
+                                                              idxs):
+            buf = buffers[name]
+            mems.append((start, nbytes, is_write,
+                         (buf.base_addr + idx * buf.elem_bytes).tolist()))
+        ilist = issue.tolist()
+        for k in range(batch):
+            at = ilist[k]
+            for start, nbytes, is_write, addrs in mems:
+                request(tid, at + start, addrs[k], nbytes, is_write)
+    retires = issue + depth
+    inflight.extend(retires.tolist())
+    while len(inflight) > window:
+        inflight.popleft()
+    return int(issue[-1]) + rec_ii, int(retires[-1]), 0
+
+
+def _closed_form_issue(state, group, group_cost: int, ii: int, rec_ii: int,
+                       batch: int, cursor: int):
+    """Solve the leaky-bucket issue recurrence for a whole batch.
+
+    Valid when per-trip ``extra`` is zero (no external reads) and the
+    in-flight window cannot bind.  Epoch resets are decided once at
+    batch entry; if the issue times reveal that a reset would have
+    fired *inside* the batch, no state is committed and ``None`` tells
+    the caller to replay per-trip.
+    """
+
+    gap = state._GAP
+    ks = _iota(batch)
+    reset1 = state.first < 0 or cursor > state.first + state.count * ii + gap
+    f1, n1 = (cursor, 0) if reset1 else (state.first, state.count)
+    e1 = f1 + (n1 + ks) * ii
+    head = int(e1[0])
+    i1_0 = head if head > cursor else cursor
+    if group is not None:
+        reset2 = group.first < 0 or \
+            i1_0 > group.first + group.count * group_cost + gap
+        f2, n2 = (i1_0, 0) if reset2 else (group.first, group.count)
+        e2 = f2 + (n2 + ks) * group_cost
+        earliest = np.maximum(e1, e2)
+    else:
+        e2 = None
+        earliest = e1
+    base = earliest - ks * rec_ii
+    if cursor > earliest[0]:
+        base[0] = cursor
+    np.maximum.accumulate(base, out=base)
+    issue = base + ks * rec_ii
+    if batch > 1:
+        arrivals = issue[:-1] + rec_ii  # bucket arrival times, trips 1..n-1
+        if np.any(arrivals > e1[1:] + gap):
+            return None
+        if e2 is not None and \
+                np.any(np.maximum(e1[1:], arrivals) > e2[1:] + gap):
+            return None
+    state.first = f1
+    state.count = n1 + batch
+    if group is not None:
+        group.first = f2
+        group.count = n2 + batch
+    return issue
+
+
+def _run_timing_loop(runtime, plan: LoopPlan, item, tid: int, state, group,
+                     group_cost: int, window: int, inflight, batch: int,
+                     cursor: int, idxs):
+    """Drive the plan's compiled timing loop and commit port/DRAM state."""
+
+    ports = runtime.ports
+    memory = ports.memory
+    tail = runtime.tl_static.get(item.uid)
+    if tail is None:
+        cfg = memory.config
+        buffers = runtime.buffers
+        parts = [item.ii, item.rec_ii, item.depth, group_cost, window,
+                 ports.outstanding_limit, cfg.row_miss_penalty,
+                 cfg.base_latency, cfg.interleave_bytes, cfg.channels,
+                 cfg.row_bytes, cfg.banks_per_channel,
+                 cfg.row_bytes * cfg.banks_per_channel * cfg.channels,
+                 memory._banks, memory._bus_busy]
+        for _start, _off, nbytes, _is_write, name in plan.mem:
+            buf = buffers[name]
+            parts += [cfg.request_overhead
+                      + max(1, -(-nbytes // cfg.width_bytes)),
+                      buf.base_addr, buf.elem_bytes]
+        tail = tuple(parts)
+        runtime.tl_static[item.uid] = tail
+    last_completion = ports._last_completion
+    hist_r, hist_w = runtime.port_hists[tid]
+    cursor, retire_max, stall, last_r, last_w, row_misses, arb = plan.tfn(
+        batch, cursor, state, group, inflight,
+        hist_r, last_completion.get((tid, False), 0),
+        hist_w, last_completion.get((tid, True), 0),
+        *[idx.tolist() for idx in idxs], *tail)
+    last_completion[(tid, False)] = last_r
+    last_completion[(tid, True)] = last_w
+    memory.requests += batch * len(plan.mem)
+    memory.bytes_read += batch * plan.rbytes_iter
+    memory.bytes_written += batch * plan.wbytes_iter
+    memory.row_misses += row_misses
+    memory.arbitration_wait_cycles += arb
+    return cursor, retire_max, stall
+
+
+def _compile_timing_loop(mem, has_group: bool, uid: int):
+    """exec-compile the reference per-trip timing recurrence for one loop.
+
+    The leaky-bucket booking, Avalon port limit and DRAM channel/bank
+    model are emitted inline — same arithmetic, same mutation order as
+    ``_LoopState.book`` / ``PortSet.request`` /
+    ``ExternalMemory.access_time`` — with the loop's memop structure
+    (count, order, read/write direction, stage offsets) folded into the
+    generated source.  This runs once per *trip*; the attribute,
+    dictionary and tuple-unpack traffic a generic interpreter-style
+    loop would pay per access is what this codegen removes.
+
+    The generated function returns
+    ``(cursor, retire_max, stall, last_r, last_w, row_misses, arb)``;
+    the caller commits the port/DRAM aggregate counters.
+    """
+
+    args = ["batch", "cursor", "state", "group", "inflight",
+            "hist_r", "last_r", "hist_w", "last_w"]
+    args += [f"a{i}" for i in range(len(mem))]
+    args += ["ii", "rec_ii", "depth", "group_cost", "window", "limit",
+             "rmp", "base_latency", "interleave", "channels", "row_bytes",
+             "banks_per_channel", "row_span", "banks", "bus_busy"]
+    args += [x for i in range(len(mem)) for x in (f"t{i}", f"b{i}", f"e{i}")]
+    lines = [f"def _tloop({', '.join(args)}):"]
+    w = lines.append
+    w("    banks_get = banks.get")
+    w("    pop = inflight.popleft")
+    w("    push = inflight.append")
+    w("    gap = state._GAP")
+    w("    s_first = state.first; s_count = state.count")
+    if has_group:
+        w("    g_first = group.first; g_count = group.count")
+    w("    stall = 0; retire_max = 0; rm = 0; arb = 0")
+    w("    for k in range(batch):")
+    w("        # _LoopState.book(cursor, ii)")
+    w("        if s_first < 0 or cursor > s_first + s_count * ii + gap:")
+    w("            s_first = cursor; s_count = 1; issue = cursor")
+    w("        else:")
+    w("            earliest = s_first + s_count * ii")
+    w("            issue = cursor if cursor > earliest else earliest")
+    w("            s_count += 1")
+    if has_group:
+        w("        if g_first < 0 or issue > g_first + g_count * group_cost"
+          " + gap:")
+        w("            g_first = issue; g_count = 1")
+        w("        else:")
+        w("            earliest = g_first + g_count * group_cost")
+        w("            if earliest > issue: issue = earliest")
+        w("            g_count += 1")
+    w("        if len(inflight) >= window:")
+    w("            head = pop() - depth")
+    w("            if head > issue:")
+    w("                stall += head - issue; issue = head")
+    w("        extra = 0")
+    for i, (start, off, _nbytes, is_write, _name) in enumerate(mem):
+        hist = "hist_w" if is_write else "hist_r"
+        last = "last_w" if is_write else "last_r"
+        w(f"        # memop {i}: PortSet.request + ExternalMemory"
+          ".access_time")
+        w(f"        at = issue + {start}" if start else "        at = issue")
+        w(f"        if len({hist}) >= limit:")
+        w(f"            head = {hist}[0]")
+        w("            if head > at: at = head")
+        w(f"            del {hist}[:1]")
+        w(f"        addr = b{i} + a{i}[k] * e{i}")
+        w("        channel = (addr // interleave) % channels")
+        w("        row = addr // row_span")
+        w("        key = (channel, (addr // row_bytes) % banks_per_channel)")
+        w("        open_row, bank_ready = banks_get(key, _NO_ROW)")
+        w("        begin = at if at > bank_ready else bank_ready")
+        w("        if open_row != row:")
+        w("            begin += rmp; rm += 1; penalty = rmp")
+        w("        else:")
+        w("            penalty = 0")
+        w("        busy = bus_busy[channel]")
+        w("        if busy > begin: begin = busy")
+        w("        arb += begin - at - penalty")
+        w(f"        done = begin + t{i}")
+        w("        bus_busy[channel] = done")
+        w("        banks[key] = (row, done)")
+        w("        completion = done + base_latency")
+        w("        # in-order responses per port")
+        w(f"        if completion < {last}: completion = {last}")
+        w(f"        else: {last} = completion")
+        w(f"        {hist}.append(completion)")
+        if not is_write:
+            w(f"        late = completion - issue - {off}")
+            w("        if late > extra: extra = late")
+    w("        retire = issue + depth + extra")
+    w("        push(retire)")
+    w("        cursor = issue + rec_ii")
+    w("        stall += extra")
+    w("        if retire > retire_max: retire_max = retire")
+    w("    state.first = s_first; state.count = s_count")
+    if has_group:
+        w("    group.first = g_first; group.count = g_count")
+    w("    return cursor, retire_max, stall, last_r, last_w, rm, arb")
+    source = "\n".join(lines)
+    namespace = {"_NO_ROW": _NO_ROW}
+    code = compile(source, f"<tloop:{uid}>", "exec")
+    exec(code, namespace)
+    fn = namespace["_tloop"]
+    fn.__source__ = source
+    return fn

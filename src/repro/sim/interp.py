@@ -12,12 +12,25 @@ implementation of the IR semantics:
 * external loads/stores go through the thread's memory view, which both
   performs the data movement on the mapped numpy buffers and appends a
   timing record consumed by the executor;
-* local (BRAM) arrays are per-thread Python lists (thread-private, as
-  OpenMP scoping requires).
+* local (BRAM) arrays are per-thread numpy arrays (thread-private, as
+  OpenMP scoping requires; scalar reads return Python numbers so both
+  execution modes see identical value types).
 
 The generated function's inputs are the values defined outside the
 segment (kernel parameters, loop induction variables, results of other
 items); its return value is a tuple of results other items consume.
+
+:func:`compile_segment_vectorized` additionally compiles suitable
+segments to a *trip-batched* numpy form used by the simulator's
+pipelined-loop fast path (:mod:`repro.sim.fastpath`): the induction
+variable becomes an int64 vector, element-wise ops map to numpy array
+ops, and loop-carried ``+=`` accumulators become strict left-fold
+``np.add.accumulate`` scans, keeping results bit-identical to the
+scalar interpreter.  Segments with unsupported shapes (data-dependent
+lanes, multiplicative recurrences, preloader DMA, overlapping
+scatter/gather) raise :class:`VectorizeError` at compile time; runtime
+aliasing guards raise :class:`VectorFallback` *before any side effect*
+so the executor can redo the chunk through the scalar oracle.
 """
 
 from __future__ import annotations
@@ -35,7 +48,16 @@ from ..ir.types import (
 from ..hls.schedule import Segment
 
 __all__ = ["ThreadMemView", "CompiledSegment", "compile_segment",
-           "KernelFunctionalContext"]
+           "KernelFunctionalContext", "VectorizedSegment", "VectorizeError",
+           "VectorFallback", "compile_segment_vectorized"]
+
+
+class VectorizeError(Exception):
+    """The segment cannot be compiled to the trip-batched numpy form."""
+
+
+class VectorFallback(Exception):
+    """A runtime guard failed before any side effect; run the chunk scalar."""
 
 
 class ThreadMemView:
@@ -51,14 +73,15 @@ class ThreadMemView:
 
     def __init__(self, buffers: dict[str, np.ndarray]):
         self.buffers = buffers
-        self.locals: dict[int, list] = {}
+        self.locals: dict[int, np.ndarray] = {}
         self.trace: list[tuple[int, int, bool, str]] = []
         self.f32_names = {name for name, arr in buffers.items()
                           if arr.dtype == np.float32}
 
-    def alloc_local(self, key: int, size: int) -> None:
+    def alloc_local(self, key: int, size: int, is_float: bool = True) -> None:
         if key not in self.locals:
-            self.locals[key] = [0.0] * size
+            self.locals[key] = np.zeros(
+                size, dtype=np.float64 if is_float else np.int64)
 
     # -- external accesses ----------------------------------------------
     def read(self, name: str, index: int, lanes: int, elem_bytes: int):
@@ -84,14 +107,14 @@ class ThreadMemView:
         self.trace.append((src_off, count * elem_bytes, False, name))
         arr = self.buffers[name]
         self.locals[dst_key][dst_off:dst_off + count] = \
-            arr[src_off:src_off + count].tolist()
+            arr[src_off:src_off + count]
 
     # -- local (BRAM) accesses --------------------------------------------
     def lread(self, key: int, index: int, lanes: int):
         buf = self.locals[key]
         if lanes == 1:
-            return buf[index]
-        return tuple(buf[index:index + lanes])
+            return buf[index].item()
+        return tuple(buf[index:index + lanes].tolist())
 
     def lwrite(self, key: int, index: int, value, lanes: int) -> None:
         buf = self.locals[key]
@@ -125,6 +148,11 @@ def _lanes(ty: Type) -> int:
 def _elem_bytes(ty: Type) -> int:
     elem = ty.elem if isinstance(ty, VectorType) else ty
     return max(1, elem.bits() // 8)
+
+
+def _elem_is_float(ty: Type) -> bool:
+    elem = ty.elem if isinstance(ty, VectorType) else ty
+    return bool(elem.is_float)
 
 
 def compile_segment(segment: Segment, external_uses: set[int],
@@ -292,7 +320,8 @@ def _emit_op(op: Operation, operand) -> str:
     if code is Opcode.ALLOC_LOCAL:
         array = op.attrs["array"]
         size = array.size * _lanes(array.elem)
-        return f"mem.alloc_local({op.result.id}, {size})\n    " \
+        return f"mem.alloc_local({op.result.id}, {size}, " \
+               f"{_elem_is_float(array.elem)})\n    " \
                f"{r} = {op.result.id}"
     if code is Opcode.LOAD:
         base = op.operands[0]
@@ -327,6 +356,802 @@ def _emit_op(op: Operation, operand) -> str:
                 f"{src_off}, {count}, {ebytes})")
 
     raise NotImplementedError(f"cannot generate code for {code}")
+
+
+# ----------------------------------------------------------------------
+# trip-batched (vectorized) segment compilation
+# ----------------------------------------------------------------------
+@dataclass
+class VectorizedSegment:
+    """A segment compiled to a batched numpy function.
+
+    ``fn(ctx, vars, mem, ivs, n, *inputs)`` evaluates ``n`` loop trips
+    at once (``ivs`` is the int64 induction-variable vector) and returns
+    ``(outputs, mem_indices)``: the per-id output values as seen after
+    the *last* trip (plain Python numbers/tuples, exactly like the
+    scalar interpreter would leave them) and one int64 element-index
+    array per entry of ``segment.mem_ops`` for the timing model.
+    Functional side effects (buffer/local stores, ``vars`` updates) are
+    committed only after every aliasing guard has passed, so a
+    :class:`VectorFallback` leaves all state untouched.
+    """
+
+    segment: Segment
+    fn: Callable
+    inputs: list[int]
+    outputs: list[int]
+    source: str = ""
+
+
+_F64 = np.float64
+_I64 = np.int64
+
+
+def _vinsert(a, lane, x, n):
+    """Batched INSERT: copy-on-write a lane into a (possibly 2-D) vector."""
+
+    if isinstance(a, np.ndarray):
+        r = np.array(a)
+    else:
+        dt = np.result_type(np.asarray(a), x)
+        r = np.empty((n, len(a)), dtype=dt)
+        r[:] = np.asarray(a)
+    r[:, lane] = x
+    return r
+
+
+def _chk_store(idx, lanes, loads, n):
+    """Scatter guard: distinct per-trip targets, loads match the store.
+
+    Raised *before* any functional side effect, so the executor can
+    redo the whole chunk through the scalar interpreter.
+    """
+
+    if n <= 1:
+        return
+    if isinstance(idx, np.ndarray):
+        s = np.sort(idx)
+        if int((s[1:] - s[:-1]).min()) < lanes:
+            raise VectorFallback("overlapping store targets")
+        for li in loads:
+            if not (isinstance(li, np.ndarray) and np.array_equal(li, idx)):
+                raise VectorFallback("load does not match store pattern")
+    elif loads:
+        raise VectorFallback("single-cell read-modify-write recurrence")
+
+
+def _chk_store_multi(idxs, lanes, n):
+    """Several stores to one base: every target cell must be distinct.
+
+    With disjoint targets the commit order across stores cannot matter;
+    any overlap (within a store across trips, or between stores) falls
+    back to the scalar interpreter's exact program order.
+    """
+
+    if n <= 1:
+        return  # a single trip commits in program order exactly
+    parts = [idx if isinstance(idx, np.ndarray) else np.array([idx])
+             for idx in idxs]
+    s = np.sort(np.concatenate(parts))
+    if s.size > 1 and int((s[1:] - s[:-1]).min()) < lanes:
+        raise VectorFallback("overlapping store targets")
+
+
+def _as_idx(idx, n):
+    if isinstance(idx, np.ndarray):
+        return idx
+    return np.full(n, idx, dtype=np.int64)
+
+
+class _VectorCodegen:
+    """Generates the batched numpy source for one segment."""
+
+    def __init__(self, segment: Segment, external_uses: set[int],
+                 iv_id: int):
+        self.segment = segment
+        self.ops = segment.ops
+        self.external_uses = external_uses
+        self.iv_id = iv_id
+        self.defidx: dict[int, int] = {}
+        self.uses: dict[int, list[int]] = {}
+        for index, op in enumerate(self.ops):
+            if op.result is not None:
+                self.defidx[op.result.id] = index
+            for operand in op.operands:
+                self.uses.setdefault(operand.id, []).append(index)
+        self.defined: set[int] = {iv_id}
+        self.arrays: set[int] = {iv_id}
+        self.val_type: dict[int, Any] = {}
+        self.inputs: list[int] = []
+        self._seen_inputs: set[int] = set()
+        self.compute: list[str] = []
+        self.checks: list[str] = []
+        self.commits: list[str] = []
+        self.consumed: set[int] = set()
+        #: base key -> [(idx expr, idx is array, lanes)]
+        self.base_loads: dict[Any, list[tuple[str, bool, int]]] = {}
+        #: base key -> [(idx expr, idx is array, lanes)]
+        self.base_store: dict[Any, list[tuple[str, bool, int]]] = {}
+        self.mem_idx: dict[int, str] = {}  # mem_ops position -> idx expr
+        self.memop_pos = {id(m.op): p for p, m in enumerate(segment.mem_ops)}
+        #: var id -> 'carried' | 'invariant' | 'local'
+        self.var_kind: dict[int, str] = {}
+        #: var id -> (expr, is_array, value type) for 'local' vars
+        self.cur_var: dict[int, tuple[str, bool, Any]] = {}
+        self.carried: dict[int, dict] = {}
+
+    # -- helpers -------------------------------------------------------
+    def ref(self, value) -> str:
+        if value.id not in self.defined and \
+                value.id not in self._seen_inputs:
+            self._seen_inputs.add(value.id)
+            self.inputs.append(value.id)
+        return _vname(value)
+
+    def arr(self, value) -> bool:
+        return value.id in self.arrays
+
+    def _use_count(self, vid: int) -> int:
+        return len(self.uses.get(vid, ()))
+
+    def emit(self, op, line: str, is_array: bool) -> None:
+        self.compute.append(line)
+        if op.result is not None:
+            self.defined.add(op.result.id)
+            self.val_type[op.result.id] = op.result.type
+            if is_array:
+                self.arrays.add(op.result.id)
+
+    def _vec_operand(self, value, any_array: bool) -> str:
+        """Operand expression for a vector-typed op."""
+
+        name = self.ref(value)
+        if any_array and not self.arr(value):
+            return f"_np.asarray({name})"
+        return name
+
+    def _const_int(self, value) -> int:
+        index = self.defidx.get(value.id)
+        if index is None or self.ops[index].opcode is not Opcode.CONST:
+            raise VectorizeError("lane index is not a segment constant")
+        return int(self.ops[index].attrs["value"])
+
+    @staticmethod
+    def _final_expr(expr: str, is_array: bool, ty) -> str:
+        """Convert a batched value to the scalar interpreter's Python type."""
+
+        if not is_array:
+            return expr
+        if isinstance(ty, VectorType):
+            conv = "float" if ty.elem.is_float else "int"
+            return f"tuple({conv}(_x) for _x in ({expr})[-1])"
+        if ty == BOOL:
+            return f"bool(({expr})[-1])"
+        if isinstance(ty, ScalarType) and ty.is_float:
+            return f"float(({expr})[-1])"
+        return f"int(({expr})[-1])"
+
+    # -- loop-carried accumulator chains -------------------------------
+    def _classify_vars(self) -> None:
+        first: dict[int, str] = {}
+        written: set[int] = set()
+        for op in self.ops:
+            code = op.opcode
+            if code is Opcode.DECL_VAR:
+                first.setdefault(op.attrs["var"].id, "w")
+                written.add(op.attrs["var"].id)
+            elif code is Opcode.READ_VAR:
+                first.setdefault(op.operands[0].id, "r")
+            elif code is Opcode.WRITE_VAR:
+                first.setdefault(op.operands[0].id, "w")
+                written.add(op.operands[0].id)
+        for vid, touch in first.items():
+            if vid not in written:
+                self.var_kind[vid] = "invariant"
+            elif touch == "r":
+                self.var_kind[vid] = "carried"
+            else:
+                self.var_kind[vid] = "local"
+
+    def _analyze_carried(self, vid: int) -> None:
+        reads = [i for i, op in enumerate(self.ops)
+                 if op.opcode is Opcode.READ_VAR
+                 and op.operands[0].id == vid]
+        writes = [i for i, op in enumerate(self.ops)
+                  if op.opcode is Opcode.WRITE_VAR
+                  and op.operands[0].id == vid]
+        if len(reads) != 1 or not writes or reads[0] > writes[0]:
+            raise VectorizeError("unsupported carried-variable shape")
+        read_op, write_op = self.ops[reads[0]], self.ops[writes[-1]]
+        rres = read_op.result
+        if rres.id in self.external_uses:
+            raise VectorizeError("carried value escapes the segment")
+
+        memo: dict[int, bool] = {}
+
+        def reaches(value) -> bool:
+            if value.id == rres.id:
+                return True
+            hit = memo.get(value.id)
+            if hit is not None:
+                return hit
+            memo[value.id] = False  # cycle guard (vars break SSA)
+            index = self.defidx.get(value.id)
+            result = index is not None and any(
+                reaches(operand) for operand in self.ops[index].operands)
+            memo[value.id] = result
+            return result
+
+        # the read, every chain op and all but the final write are
+        # consumed by the scan; the final write op stays live — emit_op
+        # dispatches it to _emit_scan.  Intermediate writes (an unrolled
+        # reduction re-writes the var once per step) are dead: the last
+        # trip's final value subsumes them and mid-segment var state is
+        # unobservable.
+        consumed = set(reads) | set(writes[:-1])
+        info: dict = {"read": reads[0], "write": writes[-1], "rres": rres}
+        if isinstance(rres.type, VectorType):
+            if len(writes) != 1:
+                raise VectorizeError("unsupported carried-variable shape")
+            lane_deltas: dict[int, tuple] = {}
+            cur = write_op.operands[1]
+            while cur.id != rres.id:
+                index = self.defidx.get(cur.id)
+                if index is None or self._use_count(cur.id) != 1 \
+                        or cur.id in self.external_uses:
+                    raise VectorizeError("carried chain escapes")
+                ins = self.ops[index]
+                if ins.opcode is not Opcode.INSERT:
+                    raise VectorizeError("vector recurrence is not "
+                                         "lane-wise insert")
+                lane = self._const_int(ins.operands[1])
+                if lane in lane_deltas:
+                    raise VectorizeError("lane updated twice per trip")
+                upd = ins.operands[2]
+                uidx = self.defidx.get(upd.id)
+                if uidx is None or self._use_count(upd.id) != 1:
+                    raise VectorizeError("carried chain escapes")
+                uop = self.ops[uidx]
+                eidx = None
+                if uop.opcode is Opcode.ADD:
+                    a, b = uop.operands
+                    ea = self._lane_extract(a, lane, reaches)
+                    eb = self._lane_extract(b, lane, reaches)
+                    if (ea is None) == (eb is None):
+                        raise VectorizeError("ambiguous lane recurrence")
+                    eidx, delta = (ea, b) if ea is not None else (eb, a)
+                    if reaches(delta):
+                        raise VectorizeError("delta depends on accumulator")
+                    lane_deltas[lane] = ("val", delta)
+                elif uop.opcode is Opcode.FMA:
+                    a, b, c = uop.operands
+                    eidx = self._lane_extract(c, lane, reaches)
+                    if eidx is None or reaches(a) or reaches(b):
+                        raise VectorizeError("unsupported lane recurrence")
+                    lane_deltas[lane] = ("mul", a, b)
+                else:
+                    raise VectorizeError("non-additive lane recurrence")
+                consumed.update((index, uidx, eidx))
+                cur = ins.operands[0]
+            info["lane_deltas"] = lane_deltas
+        else:
+            deltas: list[tuple] = []
+            write_set = set(writes)
+            cur = write_op.operands[1]
+            consumer = writes[-1]
+            while cur.id != rres.id:
+                index = self.defidx.get(cur.id)
+                allowed = write_set | {consumer}
+                if index is None or cur.id in self.external_uses or \
+                        any(u not in allowed
+                            for u in self.uses.get(cur.id, ())):
+                    raise VectorizeError("carried chain escapes")
+                link = self.ops[index]
+                if link.opcode is Opcode.ADD:
+                    a, b = link.operands
+                    ra, rb = reaches(a), reaches(b)
+                    if ra == rb:
+                        raise VectorizeError("ambiguous recurrence")
+                    nxt, delta = (a, b) if ra else (b, a)
+                    if reaches(delta):
+                        raise VectorizeError("delta depends on accumulator")
+                    deltas.append(("val", delta))
+                elif link.opcode is Opcode.FMA:
+                    a, b, c = link.operands
+                    if not reaches(c) or reaches(a) or reaches(b):
+                        raise VectorizeError("unsupported recurrence")
+                    nxt = c
+                    deltas.append(("mul", a, b))
+                else:
+                    raise VectorizeError("non-additive recurrence "
+                                         f"({link.opcode.value})")
+                consumed.add(index)
+                consumer = index
+                cur = nxt
+            deltas.reverse()
+            info["deltas"] = deltas
+        if any(u not in consumed for u in self.uses.get(rres.id, ())):
+            raise VectorizeError("accumulator prefix value is used")
+        self.consumed |= consumed
+        self.carried[vid] = info
+
+    def _lane_extract(self, value, lane: int, reaches):
+        index = self.defidx.get(value.id)
+        if index is None:
+            return None
+        op = self.ops[index]
+        if op.opcode is not Opcode.EXTRACT or self._use_count(value.id) != 1:
+            return None
+        if not reaches(op.operands[0]):
+            return None
+        try:
+            if self._const_int(op.operands[1]) != lane:
+                return None
+        except VectorizeError:
+            return None
+        return index
+
+    def _delta_expr(self, delta: tuple) -> str:
+        if delta[0] == "val":
+            return self.ref(delta[1])
+        a, b = delta[1], delta[2]
+        return f"({self.ref(a)} * {self.ref(b)})"
+
+    def _emit_scan(self, vid: int) -> None:
+        info = self.carried[vid]
+        rres = info["rres"]
+        if isinstance(rres.type, VectorType):
+            lanes = rres.type.lanes
+            is_float = rres.type.elem.is_float
+            dt = "_np.float64" if is_float else "_np.int64"
+            conv = "float" if is_float else "int"
+            self.compute.append(f"_sd{vid} = vars[{vid}]")
+            parts = []
+            for lane in range(lanes):
+                delta = info["lane_deltas"].get(lane)
+                if delta is None:
+                    parts.append(f"_sd{vid}[{lane}]")
+                    continue
+                expr = self._delta_expr(delta)
+                self.compute.append(
+                    f"_fl{vid} = _np.empty(_n + 1, dtype={dt})")
+                self.compute.append(f"_fl{vid}[0] = _sd{vid}[{lane}]")
+                self.compute.append(f"_fl{vid}[1:] = {expr}")
+                self.compute.append(
+                    f"_fj{vid}_{lane} = {conv}("
+                    f"_np.add.accumulate(_fl{vid})[-1])")
+                parts.append(f"_fj{vid}_{lane}")
+            self.commits.append(f"vars[{vid}] = ({', '.join(parts)},)")
+            return
+        is_float = rres.type.is_float
+        dt = "_np.float64" if is_float else "_np.int64"
+        conv = "float" if is_float else "int"
+        deltas = info["deltas"]
+        m = len(deltas)
+        if m == 1:
+            self.compute.append(f"_fl{vid} = _np.empty(_n + 1, dtype={dt})")
+            self.compute.append(f"_fl{vid}[0] = vars[{vid}]")
+            self.compute.append(
+                f"_fl{vid}[1:] = {self._delta_expr(deltas[0])}")
+        else:
+            self.compute.append(
+                f"_dl{vid} = _np.empty((_n, {m}), dtype={dt})")
+            for pos, delta in enumerate(deltas):
+                self.compute.append(
+                    f"_dl{vid}[:, {pos}] = {self._delta_expr(delta)}")
+            self.compute.append(
+                f"_fl{vid} = _np.empty(_n * {m} + 1, dtype={dt})")
+            self.compute.append(f"_fl{vid}[0] = vars[{vid}]")
+            self.compute.append(f"_fl{vid}[1:] = _dl{vid}.ravel()")
+        self.compute.append(
+            f"_fin{vid} = {conv}(_np.add.accumulate(_fl{vid})[-1])")
+        self.commits.append(f"vars[{vid}] = _fin{vid}")
+
+    # -- memory --------------------------------------------------------
+    def _base_key(self, base):
+        if base.type.space is MemorySpace.LOCAL:
+            return ("loc", base.id)
+        return ("ext", base.name)
+
+    def _base_expr(self, base) -> str:
+        if base.type.space is MemorySpace.LOCAL:
+            return f"mem.locals[{self.ref(base)}]"
+        return f"_bufs[{base.name!r}]"
+
+    def _emit_load(self, op) -> None:
+        base, idxv = op.operands[0], op.operands[1]
+        key = self._base_key(base)
+        if key in self.base_store:
+            raise VectorizeError("load after store to the same base")
+        idx = self.ref(idxv)
+        is_arr = self.arr(idxv)
+        lanes = _lanes(op.result.type)
+        arrx = self._base_expr(base)
+        pos = self.memop_pos.get(id(op))
+        if pos is not None:
+            self.mem_idx[pos] = idx
+        cast = ""
+        if base.type.space is not MemorySpace.LOCAL:
+            cast = ".astype(_np.float64)" if base.type.elem.is_float \
+                else ".astype(_np.int64)"
+        r = _vname(op.result)
+        if is_arr:
+            if lanes == 1:
+                line = f"{r} = {arrx}[{idx}]{cast}"
+            else:
+                line = (f"{r} = {arrx}[({idx})[:, None] + "
+                        f"_np.arange({lanes})]{cast}")
+        elif lanes == 1:
+            line = f"{r} = {arrx}[{idx}].item()"
+        else:
+            line = f"{r} = tuple({arrx}[{idx}:{idx} + {lanes}].tolist())"
+        self.base_loads.setdefault(key, []).append((idx, is_arr, lanes))
+        self.emit(op, line, is_arr)
+
+    def _emit_store(self, op) -> None:
+        base, idxv, valv = op.operands
+        key = self._base_key(base)
+        stores = self.base_store.setdefault(key, [])
+        if stores and self.base_loads.get(key):
+            raise VectorizeError("multiple stores to a base with loads")
+        idx = self.ref(idxv)
+        is_arr = self.arr(idxv)
+        val = self.ref(valv)
+        val_arr = self.arr(valv)
+        lanes = _lanes(valv.type)
+        for _, _, llanes in self.base_loads.get(key, ()):
+            if llanes != lanes:
+                raise VectorizeError("mixed-width access to stored base")
+        if stores and stores[0][2] != lanes:
+            raise VectorizeError("mixed-width stores to one base")
+        arrx = self._base_expr(base)
+        pos = self.memop_pos.get(id(op))
+        if pos is not None:
+            self.mem_idx[pos] = idx
+        stores.append((idx, is_arr, lanes))
+        if is_arr:
+            if lanes == 1:
+                self.commits.append(f"{arrx}[{idx}] = {val}")
+            else:
+                self.commits.append(
+                    f"{arrx}[({idx})[:, None] + _np.arange({lanes})] "
+                    f"= {val}")
+        else:
+            last = f"{val}[-1]" if val_arr else val
+            if lanes == 1:
+                self.commits.append(f"{arrx}[{idx}] = {last}")
+            else:
+                self.commits.append(f"{arrx}[{idx}:{idx} + {lanes}] = {last}")
+
+    # -- op dispatch ---------------------------------------------------
+    def emit_op(self, index: int, op) -> None:
+        code = op.opcode
+        r = _vname(op.result) if op.result is not None else None
+
+        if code is Opcode.DECL_VAR:
+            handle = op.attrs["var"]
+            if self.var_kind.get(handle.id) == "local":
+                init = "(0.0,) * %d" % _lanes(handle.type) \
+                    if isinstance(handle.type, VectorType) else \
+                    ("0.0" if handle.type.is_float else "0")
+                self.cur_var[handle.id] = (init, False, handle.type)
+            return
+        if code is Opcode.READ_VAR:
+            vid = op.operands[0].id
+            kind = self.var_kind.get(vid, "invariant")
+            if kind == "carried":  # consumed by the scan
+                return
+            if kind == "local":
+                expr, is_arr, _ty = self.cur_var[vid]
+                self.emit(op, f"{r} = {expr}", is_arr)
+            else:
+                self.emit(op, f"{r} = vars[{vid}]", False)
+            return
+        if code is Opcode.WRITE_VAR:
+            vid = op.operands[0].id
+            if self.var_kind.get(vid) == "carried":
+                self._emit_scan(vid)
+                return
+            value = op.operands[1]
+            self.cur_var[vid] = (self.ref(value), self.arr(value),
+                                 value.type)
+            return
+
+        if code is Opcode.CONST:
+            self.emit(op, f"{r} = {op.attrs['value']!r}", False)
+            return
+        if code is Opcode.THREAD_ID:
+            self.emit(op, f"{r} = ctx.tid", False)
+            return
+        if code is Opcode.NUM_THREADS:
+            self.emit(op, f"{r} = ctx.nthreads", False)
+            return
+
+        if code is Opcode.ALLOC_LOCAL:
+            array = op.attrs["array"]
+            size = array.size * _lanes(array.elem)
+            self.compute.append(f"mem.alloc_local({op.result.id}, {size}, "
+                                f"{_elem_is_float(array.elem)})")
+            self.emit(op, f"{r} = {op.result.id}", False)
+            return
+        if code is Opcode.LOAD:
+            self._emit_load(op)
+            return
+        if code is Opcode.STORE:
+            self._emit_store(op)
+            return
+        if code is Opcode.PRELOAD:
+            raise VectorizeError("preloader DMA")
+
+        any_arr = any(self.arr(v) for v in op.operands)
+        vec = isinstance(op.result.type, VectorType) \
+            if op.result is not None else False
+
+        def oper(value):
+            if vec and any_arr:
+                return self._vec_operand(value, True)
+            return self.ref(value)
+
+        if code in (Opcode.ADD, Opcode.SUB, Opcode.MUL):
+            sym = {"add": "+", "sub": "-", "mul": "*"}[code.value]
+            a, b = oper(op.operands[0]), oper(op.operands[1])
+            if vec and not any_arr:
+                line = (f"{r} = tuple(_a {sym} _b for _a, _b in "
+                        f"zip({a}, {b}))")
+            else:
+                line = f"{r} = {a} {sym} {b}"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.DIV:
+            a, b = oper(op.operands[0]), oper(op.operands[1])
+            ty = op.result.type
+            if vec and not any_arr:
+                if ty.elem.is_float:
+                    line = f"{r} = tuple(_a / _b for _a, _b in zip({a}, {b}))"
+                else:
+                    line = (f"{r} = tuple(int(_a / _b) for _a, _b in "
+                            f"zip({a}, {b}))")
+            elif (vec and ty.elem.is_float) or \
+                    (isinstance(ty, ScalarType) and ty.is_float):
+                line = f"{r} = {a} / {b}"
+            elif any_arr:
+                line = f"{r} = ({a} / {b}).astype(_np.int64)"
+            else:
+                line = f"{r} = int({a} / {b})"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.REM:
+            a, b = oper(op.operands[0]), oper(op.operands[1])
+            if any_arr:
+                line = f"{r} = {a} - ({a} / {b}).astype(_np.int64) * {b}"
+            else:
+                line = f"{r} = {a} - int({a} / {b}) * {b}"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.NEG:
+            a = oper(op.operands[0])
+            if vec and not any_arr:
+                line = f"{r} = tuple(-_a for _a in {a})"
+            else:
+                line = f"{r} = -{a}"
+            self.emit(op, line, any_arr)
+            return
+        if code in (Opcode.MIN, Opcode.MAX):
+            if vec and any_arr:
+                # reference min()/max() on tuples is lexicographic
+                raise VectorizeError("vector min/max")
+            a, b = oper(op.operands[0]), oper(op.operands[1])
+            if any_arr:
+                sym = "<" if code is Opcode.MIN else ">"
+                # np.where(b <sym> a, b, a) is exactly Python's min/max,
+                # including NaN and signed-zero tie behaviour
+                line = f"{r} = _np.where({b} {sym} {a}, {b}, {a})"
+            else:
+                fn = "min" if code is Opcode.MIN else "max"
+                line = f"{r} = {fn}({a}, {b})"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.FMA:
+            a, b, c = (oper(v) for v in op.operands)
+            if vec and not any_arr:
+                line = (f"{r} = tuple(_a * _b + _c for _a, _b, _c in "
+                        f"zip({a}, {b}, {c}))")
+            else:
+                line = f"{r} = {a} * {b} + {c}"
+            self.emit(op, line, any_arr)
+            return
+
+        if code in (Opcode.AND, Opcode.OR, Opcode.XOR):
+            a, b = oper(op.operands[0]), oper(op.operands[1])
+            if op.result.type == BOOL:
+                if any_arr:
+                    fn = {"and": "_np.logical_and({}, {})",
+                          "or": "_np.logical_or({}, {})",
+                          "xor": "_np.not_equal({}, {})"}[code.value]
+                    line = f"{r} = {fn.format(a, b)}"
+                else:
+                    sym = {"and": "and", "or": "or", "xor": "!="}[code.value]
+                    line = f"{r} = bool({a} {sym} {b})"
+            else:
+                sym = {"and": "&", "or": "|", "xor": "^"}[code.value]
+                line = f"{r} = {a} {sym} {b}"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.NOT:
+            a = oper(op.operands[0])
+            if op.result.type == BOOL:
+                line = f"{r} = _np.logical_not({a})" if any_arr \
+                    else f"{r} = not {a}"
+            else:
+                line = f"{r} = ~{a}"
+            self.emit(op, line, any_arr)
+            return
+        if code in (Opcode.SHL, Opcode.SHR):
+            sym = "<<" if code is Opcode.SHL else ">>"
+            a, b = oper(op.operands[0]), oper(op.operands[1])
+            self.emit(op, f"{r} = {a} {sym} {b}", any_arr)
+            return
+
+        if code in (Opcode.EQ, Opcode.NE, Opcode.LT, Opcode.LE, Opcode.GT,
+                    Opcode.GE):
+            if any(isinstance(v.type, VectorType) for v in op.operands):
+                raise VectorizeError("vector comparison")
+            sym = {"eq": "==", "ne": "!=", "lt": "<", "le": "<=",
+                   "gt": ">", "ge": ">="}[code.value]
+            a, b = oper(op.operands[0]), oper(op.operands[1])
+            self.emit(op, f"{r} = {a} {sym} {b}", any_arr)
+            return
+
+        if code is Opcode.CAST:
+            a = oper(op.operands[0])
+            dst = op.result.type
+            if isinstance(dst, VectorType):
+                if any_arr:
+                    dt = "_np.float64" if dst.elem.is_float else "_np.int64"
+                    line = f"{r} = {a}.astype({dt})"
+                elif dst.elem.is_float:
+                    line = f"{r} = tuple(float(_a) for _a in {a})"
+                else:
+                    line = f"{r} = tuple(int(_a) for _a in {a})"
+            elif any_arr:
+                if dst == BOOL:
+                    line = f"{r} = {a}.astype(bool)"
+                elif isinstance(dst, ScalarType) and dst.is_float:
+                    line = f"{r} = {a}.astype(_np.float64)"
+                else:
+                    line = f"{r} = {a}.astype(_np.int64)"
+            elif isinstance(dst, ScalarType) and dst.is_float:
+                line = f"{r} = float({a})"
+            elif dst == BOOL:
+                line = f"{r} = bool({a})"
+            else:
+                line = f"{r} = int({a})"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.SELECT:
+            if vec and any_arr:
+                raise VectorizeError("vector select")
+            c, a, b = (oper(v) for v in op.operands)
+            if any_arr:
+                line = f"{r} = _np.where({c}, {a}, {b})"
+            else:
+                line = f"{r} = {a} if {c} else {b}"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.BROADCAST:
+            a = oper(op.operands[0])
+            lanes = _lanes(op.result.type)
+            if any_arr:
+                line = (f"{r} = _np.broadcast_to(({a})[:, None], "
+                        f"(_n, {lanes}))")
+            else:
+                line = f"{r} = ({a},) * {lanes}"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.EXTRACT:
+            a, lane = op.operands
+            if self.arr(lane):
+                raise VectorizeError("data-dependent lane index")
+            lx = self.ref(lane)
+            if self.arr(a):
+                line = f"{r} = {self.ref(a)}[:, {lx}]"
+            else:
+                line = f"{r} = {self.ref(a)}[{lx}]"
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.INSERT:
+            a, lane, x = op.operands
+            if self.arr(lane):
+                raise VectorizeError("data-dependent lane index")
+            lx = self.ref(lane)
+            if any_arr:
+                line = (f"{r} = _vinsert({self.ref(a)}, {lx}, "
+                        f"{self.ref(x)}, _n)")
+            else:
+                ax = self.ref(a)
+                line = (f"{r} = {ax}[:{lx}] + ({self.ref(x)},) + "
+                        f"{ax}[{lx} + 1:]")
+            self.emit(op, line, any_arr)
+            return
+        if code is Opcode.REDUCE_ADD:
+            a = self.ref(op.operands[0])
+            lanes = _lanes(op.operands[0].type)
+            if any_arr:
+                chain = " + ".join(f"{a}[:, {j}]" for j in range(lanes))
+                line = f"{r} = 0 + {chain}"  # exact left fold, as sum()
+            else:
+                line = f"{r} = sum({a})"
+            self.emit(op, line, any_arr)
+            return
+
+        raise VectorizeError(f"cannot vectorize {code}")
+
+    # -- driver --------------------------------------------------------
+    def generate(self) -> tuple[str, list[int], list[int]]:
+        self._classify_vars()
+        for vid, kind in list(self.var_kind.items()):
+            if kind == "carried":
+                self._analyze_carried(vid)
+        self.compute.append(f"v{self.iv_id} = _ivs")
+        for index, op in enumerate(self.ops):
+            if index in self.consumed:
+                continue
+            self.emit_op(index, op)
+        for pos in range(len(self.segment.mem_ops)):
+            if pos not in self.mem_idx:
+                raise VectorizeError("untracked external access")
+        for key, stores in self.base_store.items():
+            lanes = stores[0][2]
+            if len(stores) == 1:
+                loads = ", ".join(l for l, _, _
+                                  in self.base_loads.get(key, ()))
+                self.checks.append(
+                    f"_chk_store({stores[0][0]}, {lanes}, [{loads}], _n)")
+            else:
+                idxs = ", ".join(s[0] for s in stores)
+                self.checks.append(
+                    f"_chk_store_multi([{idxs}], {lanes}, _n)")
+        for vid, (expr, is_arr, ty) in self.cur_var.items():
+            self.commits.append(
+                f"vars[{vid}] = {self._final_expr(expr, is_arr, ty)}")
+        outputs = [vid for vid in sorted(self.defined)
+                   if vid in self.external_uses and vid != self.iv_id]
+        outs = ", ".join(
+            self._final_expr(f"v{vid}", vid in self.arrays,
+                             self.val_type.get(vid))
+            for vid in outputs)
+        idxs = ", ".join(f"_as_idx({self.mem_idx[p]}, _n)"
+                         for p in range(len(self.segment.mem_ops)))
+        args = "".join(f", v{vid}" for vid in self.inputs)
+        lines = (self.compute + self.checks + self.commits) or ["pass"]
+        body = "\n    ".join(lines)
+        source = (f"def _vsegment(ctx, vars, mem, _ivs, _n{args}):\n"
+                  f"    _bufs = mem.buffers\n"
+                  f"    {body}\n"
+                  f"    return ({outs}{',' if len(outputs) == 1 else ''}), "
+                  f"({idxs}{',' if len(self.segment.mem_ops) == 1 else ''})\n")
+        return source, self.inputs, outputs
+
+
+def compile_segment_vectorized(segment: Segment, external_uses: set[int],
+                               iv_id: int) -> VectorizedSegment:
+    """Compile ``segment`` to the trip-batched numpy form.
+
+    Raises :class:`VectorizeError` when the segment's shape is not
+    supported; the caller then keeps the scalar interpreter for the
+    whole loop.
+    """
+
+    codegen = _VectorCodegen(segment, external_uses, iv_id)
+    source, inputs, outputs = codegen.generate()
+    namespace: dict[str, Any] = {
+        "_np": np, "_vinsert": _vinsert, "_chk_store": _chk_store,
+        "_chk_store_multi": _chk_store_multi, "_as_idx": _as_idx,
+        "VectorFallback": VectorFallback,
+    }
+    exec(compile(source, f"<vsegment:{segment.uid}>", "exec"), namespace)
+    return VectorizedSegment(segment, namespace["_vsegment"], inputs,
+                             outputs, source)
 
 
 @dataclass
