@@ -15,9 +15,7 @@ indexes.
 from __future__ import annotations
 
 import os
-from typing import Callable
 
-from repro import telemetry
 from repro.apps import GemmRun, PiRun
 from repro.apps.gemm import GEMM_VERSIONS
 from repro.hls.cache import CompileCache
@@ -41,36 +39,31 @@ _PI_CACHE: dict[int, PiRun] = {}
 #: on-disk directory, so repeated bench sessions skip the HLS flow)
 _COMPILE_CACHE = CompileCache()
 
-#: run key -> toolchain telemetry snapshot captured during the run
-#: (per-phase wall ms + counters); report() attaches these so the
-#: benchmark trajectory gains per-phase toolchain breakdowns.
+#: run key -> per-job ``repro.telemetry/1`` snapshot captured around
+#: the run (per-phase wall ms + counters); report() attaches these so
+#: the benchmark trajectory gains per-phase toolchain breakdowns.
 TELEMETRY_SNAPSHOTS: dict[str, dict] = {}
 
 
-def _run_instrumented(key: str, thunk: Callable):
-    """Run ``thunk`` with toolchain telemetry on; stash the snapshot.
+def _execute_instrumented(key: str, spec: JobSpec):
+    """Run one sweep job with telemetry captured; raise on failure.
 
     Telemetry measures wall time of the compile→simulate pipeline only —
     simulated cycle counts are bit-identical with it on or off, so the
-    cached runs every bench table is built from are unperturbed.
+    cached runs every bench table is built from are unperturbed.  The
+    job runs inside an isolated registry (``Telemetry.capture``), so
+    the per-run snapshot on ``result.telemetry`` holds exactly this
+    run's spans and counters, not the session's accumulation.
     """
 
-    session = telemetry.configure(enabled=True)
-    try:
-        result = thunk()
-        TELEMETRY_SNAPSHOTS[key] = session.snapshot()
-    finally:
-        telemetry.configure(enabled=False)
-    return result
-
-
-def _execute_checked(spec: JobSpec):
-    """Run one sweep job, raising on failure (benches must fail loudly)."""
-
-    result = execute_job(spec, cache=_COMPILE_CACHE, keep_run=True)
+    result = execute_job(spec, cache=_COMPILE_CACHE, keep_run=True,
+                         capture_telemetry=True)
     if result.status != "ok":
         raise RuntimeError(f"bench job {result.job_id} failed: "
                            f"{result.error}\n{result.traceback or ''}")
+    snap = dict(result.telemetry or {})
+    snap["job"] = key
+    TELEMETRY_SNAPSHOTS[key] = snap
     return result.run
 
 
@@ -78,8 +71,7 @@ def gemm_run_cached(version: str) -> GemmRun:
     run = _GEMM_CACHE.get(version)
     if run is None:
         spec = JobSpec(app="gemm", version=version, dim=GEMM_DIM)
-        run = _run_instrumented(f"gemm:{version}",
-                                lambda: _execute_checked(spec))
+        run = _execute_instrumented(f"gemm:{version}", spec)
         _GEMM_CACHE[version] = run
     return run
 
@@ -89,8 +81,7 @@ def pi_run_cached(steps: int) -> PiRun:
     if run is None:
         spec = JobSpec(app="pi", steps=steps,
                        start_interval=PI_START_INTERVAL)
-        run = _run_instrumented(f"pi:{steps}",
-                                lambda: _execute_checked(spec))
+        run = _execute_instrumented(f"pi:{steps}", spec)
         _PI_CACHE[steps] = run
     return run
 
@@ -132,6 +123,21 @@ def report(experiment: str, lines: list[str]) -> None:
     with open(os.path.join(RESULTS_DIR, f"{experiment}.txt"), "w") as out:
         out.write(text + "\n")
     _write_report_json(experiment)
+    _write_trace_json(experiment)
+
+
+def _write_trace_json(experiment: str) -> None:
+    """Merged Chrome-trace timeline of every instrumented run so far."""
+
+    from repro.telemetry import write_merged_trace
+
+    if not TELEMETRY_SNAPSHOTS:
+        return
+    path = os.path.join(RESULTS_DIR, f"{experiment}.trace.json")
+    write_merged_trace(path,
+                       [TELEMETRY_SNAPSHOTS[key]
+                        for key in sorted(TELEMETRY_SNAPSHOTS)],
+                       name=experiment)
 
 
 def _write_report_json(experiment: str) -> None:

@@ -24,7 +24,14 @@ Mirrors how a user of the paper's flow would drive it:
   ``gemm``/``pi`` shorthands), optionally fanned out over worker
   processes (``--jobs N``) with a shared compile cache, per-job
   timeout and structured failure capture; ``--out`` writes the
-  machine-readable ``repro.sweep/1`` result document;
+  machine-readable ``repro.sweep/1`` result document; ``--progress``
+  renders live progress (done/running/failed, cache hit rate, ETA)
+  and ``--events-out`` streams ``repro.events/1`` JSONL records
+  (job lifecycle + worker heartbeats);
+* ``timeline`` — merge the per-job telemetry snapshots embedded in a
+  sweep result into one Chrome-trace/Perfetto file, one process track
+  per worker and one thread lane per job, plus a per-job breakdown
+  table (compile vs cache-hit vs simulate vs trace-write time);
 * ``stats``    — pretty-print a telemetry JSONL metrics file.
 
 Synthetic arguments: scalar kernel parameters can be set with
@@ -177,15 +184,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "~/.cache/repro or $REPRO_CACHE_DIR)")
     p_sweep.add_argument("--timeout", type=float, default=None,
                          metavar="SECONDS",
-                         help="per-job wall-clock limit (parallel mode "
-                              "only)")
+                         help="per-job wall-clock limit, enforced inline "
+                              "in the job (timed-out jobs become "
+                              "structured 'timeout' records)")
     p_sweep.add_argument("--report-dir", metavar="DIR", default=None,
                          help="write each job's trace report JSON into DIR")
     p_sweep.add_argument("--dim", type=int, default=64,
                          help="matrix dimension for the 'gemm' shorthand")
     p_sweep.add_argument("--threads", type=int, default=8,
                          help="hardware threads for the shorthands")
+    p_sweep.add_argument("--progress", action="store_true",
+                         help="render live progress on stderr "
+                              "(done/running/failed, cache hit rate, ETA)")
+    p_sweep.add_argument("--events-out", metavar="PATH", default=None,
+                         help="stream repro.events/1 JSONL records "
+                              "(job_started/job_finished/job_failed/"
+                              "heartbeat) to PATH")
+    p_sweep.add_argument("--heartbeat", type=float, default=1.0,
+                         metavar="SECONDS",
+                         help="worker heartbeat interval for --events-out "
+                              "(default: 1.0)")
     add_telemetry_args(p_sweep)
+
+    p_timeline = sub.add_parser(
+        "timeline", help="merge a sweep result's per-job telemetry into "
+                         "one Chrome-trace/Perfetto timeline")
+    p_timeline.add_argument("results",
+                            help="a repro.sweep/1 result JSON written by "
+                                 "'repro sweep --out'")
+    p_timeline.add_argument("-o", "--output", metavar="PATH", default=None,
+                            help="merged Chrome-trace JSON path (default: "
+                                 "<results stem>.trace.json)")
 
     p_stats = sub.add_parser(
         "stats", help="pretty-print a telemetry JSONL metrics file")
@@ -349,15 +378,21 @@ def _report_command(args: argparse.Namespace) -> int:
 
 
 def _sweep_command(args: argparse.Namespace) -> int:
-    from .sweep import load_spec, run_sweep
+    from .sweep import TTYProgress, load_spec, run_sweep
     try:
         spec = load_spec(args.spec, dim=args.dim, threads=args.threads)
     except ValueError as exc:
         raise SystemExit(str(exc)) from exc
+    progress = TTYProgress() if args.progress else None
+    # always capture per-job telemetry so a written --out document can
+    # be merged by `repro timeline` later (snapshots are a few KB/job)
     result = run_sweep(spec, jobs=args.jobs, repeat=args.repeat,
                        use_cache=not args.no_cache,
                        cache_dir=args.cache_dir, timeout=args.timeout,
-                       report_dir=args.report_dir)
+                       report_dir=args.report_dir,
+                       progress=progress, events_out=args.events_out,
+                       heartbeat_s=args.heartbeat,
+                       capture_telemetry=True)
 
     header = (f"{'job':34s} {'status':8s} {'cycles':>10s} {'GFLOP/s':>8s} "
               f"{'wall':>7s}  cache")
@@ -379,7 +414,39 @@ def _sweep_command(args: argparse.Namespace) -> int:
     if args.out:
         result.to_json(args.out)
         print(f"results written: {args.out}")
+    if args.events_out:
+        print(f"event log written: {args.events_out} (repro.events/1)")
     return 0 if not result.failed else 1
+
+
+def _timeline_command(args: argparse.Namespace) -> int:
+    import json as _json
+    import os
+
+    from .sweep import validate_sweep_file
+    from .telemetry import merge_sweep_doc, render_job_breakdown, \
+        snapshots_from_sweep_doc
+    try:
+        doc = validate_sweep_file(args.results)
+        snapshots, _parent = snapshots_from_sweep_doc(doc)
+        payload = merge_sweep_doc(doc)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    output = args.output
+    if output is None:
+        stem, _ext = os.path.splitext(args.results)
+        output = stem + ".trace.json"
+    with open(output, "w") as handle:
+        handle.write(_json.dumps(payload, indent=1, sort_keys=True,
+                                 default=str) + "\n")
+    print(render_job_breakdown(snapshots), end="")
+    pids = payload["otherData"]["worker_pids"]
+    print(f"\nmerged {len(snapshots)} job timelines from "
+          f"{len(pids)} worker process(es) (pids: "
+          f"{', '.join(str(p) for p in pids)})")
+    print(f"Chrome trace written: {output} "
+          "(load in Perfetto or chrome://tracing)")
+    return 0
 
 
 def _export_telemetry(args: argparse.Namespace) -> None:
@@ -498,6 +565,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _sweep_command(args)
+
+    if args.command == "timeline":
+        return _timeline_command(args)
 
     if args.command == "stats":
         try:

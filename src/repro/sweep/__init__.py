@@ -5,17 +5,27 @@ list of compile→simulate jobs — serially or fanned out over a process
 pool — with per-job timeout, retry-once-on-crash, a shared
 content-addressed compile cache, and a machine-readable result document
 (schema ``repro.sweep/1``).  See DESIGN.md §8.
+
+Live observability (DESIGN.md §10): pass ``progress=`` a
+:class:`ProgressSink` (e.g. :class:`TTYProgress`) and/or ``events_out=``
+a path to stream ``repro.events/1`` JSONL records; per-job telemetry
+snapshots ride back on each :class:`JobResult` for ``repro timeline``.
 """
 
+from .progress import (EVENTS_SCHEMA, JSONLEventSink, MultiSink,
+                       ProgressSink, TTYProgress, validate_event_records,
+                       validate_events_file)
 from .results import (JOB_STATUSES, SWEEP_SCHEMA, JobResult, SweepResult,
                       validate_sweep_dict, validate_sweep_file)
-from .runner import execute_job, run_sweep
+from .runner import JobTimeout, execute_job, run_sweep
 from .spec import (JobSpec, SweepSpec, expand_jobs, gemm_sweep, load_spec,
                    pi_sweep)
 
 __all__ = [
     "JobSpec", "SweepSpec", "expand_jobs", "gemm_sweep", "pi_sweep",
-    "load_spec", "execute_job", "run_sweep", "JobResult", "SweepResult",
-    "validate_sweep_dict", "validate_sweep_file", "SWEEP_SCHEMA",
-    "JOB_STATUSES",
+    "load_spec", "execute_job", "run_sweep", "JobTimeout", "JobResult",
+    "SweepResult", "validate_sweep_dict", "validate_sweep_file",
+    "SWEEP_SCHEMA", "JOB_STATUSES",
+    "ProgressSink", "TTYProgress", "JSONLEventSink", "MultiSink",
+    "EVENTS_SCHEMA", "validate_event_records", "validate_events_file",
 ]

@@ -40,6 +40,9 @@ class JobResult:
     error: Optional[str] = None      # failure summary ("Type: message")
     traceback: Optional[str] = None  # full traceback for failures
     report_path: Optional[str] = None  # per-job report.json, if requested
+    #: lossless ``repro.telemetry/1`` snapshot captured around the job,
+    #: tagged with job id / worker pid (see ``repro timeline``)
+    telemetry: Optional[dict] = field(default=None, repr=False)
     #: the full in-memory run object (GemmRun/PiRun) when keep_runs was
     #: requested; excluded from to_dict()/JSON
     run: Any = field(default=None, repr=False, compare=False)
@@ -54,7 +57,8 @@ class JobResult:
             "attempts": self.attempts,
         }
         for key in ("cycles", "gflops", "bandwidth_gbs", "correct", "value",
-                    "value_error", "error", "traceback", "report_path"):
+                    "value_error", "error", "traceback", "report_path",
+                    "telemetry"):
             val = getattr(self, key)
             if val is not None:
                 doc[key] = val
@@ -72,7 +76,8 @@ class JobResult:
                    compile_cache=doc.get("compile_cache", "off"),
                    attempts=doc.get("attempts", 1),
                    error=doc.get("error"), traceback=doc.get("traceback"),
-                   report_path=doc.get("report_path"))
+                   report_path=doc.get("report_path"),
+                   telemetry=doc.get("telemetry"))
 
 
 @dataclass
@@ -83,6 +88,8 @@ class SweepResult:
     jobs: list[JobResult]
     wall_s: float = 0.0
     parallel_jobs: int = 1
+    #: the dispatching session's own telemetry snapshot, when enabled
+    telemetry: Optional[dict] = field(default=None, repr=False)
 
     @property
     def ok(self) -> list[JobResult]:
@@ -112,7 +119,7 @@ class SweepResult:
 
     def to_dict(self) -> dict:
         import os
-        return {
+        doc = {
             "schema": SWEEP_SCHEMA,
             "name": self.name,
             # wall-clock speedup from --jobs N is bounded by the host's
@@ -121,9 +128,13 @@ class SweepResult:
             "totals": self.totals(),
             "jobs": [job.to_dict() for job in self.jobs],
         }
+        if self.telemetry is not None:
+            doc["telemetry"] = self.telemetry
+        return doc
 
     def to_json(self, path: Optional[str] = None) -> str:
-        text = json.dumps(self.to_dict(), indent=2, sort_keys=False)
+        text = json.dumps(self.to_dict(), indent=2, sort_keys=False,
+                          default=str)
         if path is not None:
             with open(path, "w") as handle:
                 handle.write(text + "\n")

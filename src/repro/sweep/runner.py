@@ -10,43 +10,100 @@ aborted sweep.
 :func:`run_sweep` executes a whole spec:
 
 * ``jobs <= 1`` — inline in this process (deterministic, debuggable,
-  telemetry-visible; per-job timeouts are not enforced inline);
+  telemetry-visible);
 * ``jobs > 1`` — a ``ProcessPoolExecutor`` fan-out.  Workers receive
   plain job dicts (never compiled objects) and re-derive + compile
   through the shared on-disk :class:`~repro.hls.cache.CompileCache`.
   The dispatcher keeps exactly ``jobs`` futures in flight so a
-  submitted job is known to be *running*, which makes the per-job
-  ``timeout`` meaningful: an expired job is recorded as ``"timeout"``
-  and the pool is recycled (terminating the hung worker); a crashed
+  submitted job is known to be *running*; a crashed
   worker poisons the pool, so every in-flight job is retried **once**
   before being recorded as ``"crashed"`` (retry-once-on-crash).
 
+The per-job ``timeout`` is enforced *inline in the job itself* (both
+in workers and in ``jobs=1`` mode) via a ``SIGALRM`` deadline: an
+expired job unwinds into a structured ``"timeout"`` record — with a
+final heartbeat, so consumers see it end — without killing its worker
+process.  The dispatcher keeps a coarser backstop (timeout plus a
+grace period) for workers that are truly stuck; those are recycled.
+
+Observability: every job runs with telemetry captured into an
+isolated per-job registry (:meth:`~repro.telemetry.Telemetry.capture`)
+and ships the lossless snapshot back on the result, tagged with job
+id and pid, so ``repro timeline`` can merge all workers into one
+Perfetto trace.  Live progress flows through
+:class:`~repro.sweep.progress.ProgressSink` callbacks — job start/
+finish plus worker heartbeats — driven inline or through a manager
+queue in pool mode.
+
 Simulated results are deterministic by construction — each job seeds
 its own RNG and runs an isolated simulation — so per-job cycle counts
-are identical across ``jobs=1`` and ``jobs=N`` and across cache-cold
+are identical across ``jobs=1`` and ``jobs=N``, across cache-cold
 and cache-warm runs (the cache stores *compiled accelerators*, whose
-execution is what produces cycles).
+execution is what produces cycles), and with observability on or off
+(telemetry measures wall time only).
 """
 
 from __future__ import annotations
 
 import os
+import queue as queue_module
+import signal
+import threading
 import time
 import traceback
 from collections import deque
+from contextlib import contextmanager
 from typing import Optional, Sequence, Union
 
 from .. import telemetry
 from ..apps.runners import run_gemm, run_pi
 from ..hls.cache import CompileCache, default_cache_dir
 from ..sim.config import SimConfig
+from .progress import JSONLEventSink, MultiSink, ProgressSink
 from .results import JobResult, SweepResult
 from .spec import JobSpec, SweepSpec, expand_jobs
 
-__all__ = ["execute_job", "run_sweep"]
+__all__ = ["execute_job", "run_sweep", "JobTimeout"]
 
 #: dispatcher poll interval while waiting on in-flight futures
 _POLL_S = 0.1
+
+#: extra seconds the pool dispatcher grants beyond the inline deadline
+#: before declaring a worker hung and recycling the pool
+_TIMEOUT_GRACE_S = 5.0
+
+
+class JobTimeout(Exception):
+    """Raised inside a job when its inline wall-clock deadline expires."""
+
+
+@contextmanager
+def _inline_deadline(seconds: Optional[float]):
+    """Raise :class:`JobTimeout` in the running job after ``seconds``.
+
+    Uses a ``SIGALRM`` interval timer, so it only arms on platforms
+    with ``SIGALRM`` and when running in the main thread (signal
+    handlers cannot be installed elsewhere); otherwise the job runs
+    without an inline deadline and pool mode's dispatcher backstop is
+    the only limit.  Worker processes run jobs on their main thread,
+    so the inline path is the one that fires in practice.
+    """
+
+    if (not seconds or seconds <= 0 or not hasattr(signal, "SIGALRM")
+            or threading.current_thread() is not threading.main_thread()):
+        yield
+        return
+
+    def _expire(signum, frame):
+        raise JobTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _expire)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 # ----------------------------------------------------------------------
@@ -65,9 +122,42 @@ def _cache_status(cache: Optional[CompileCache],
 
 def execute_job(spec: JobSpec, *, cache: Optional[CompileCache] = None,
                 keep_run: bool = False,
-                report_dir: Optional[str] = None) -> JobResult:
-    """Run one job; never raises — failures become structured records."""
+                report_dir: Optional[str] = None,
+                timeout: Optional[float] = None,
+                capture_telemetry: Optional[bool] = None) -> JobResult:
+    """Run one job; never raises — failures become structured records.
 
+    ``timeout`` arms an inline ``SIGALRM`` deadline: an expired job
+    becomes a structured ``"timeout"`` record.  ``capture_telemetry``
+    runs the job inside an isolated telemetry registry and attaches
+    the lossless snapshot (tagged with job id, pid, status, cache
+    state and wall time) to ``result.telemetry``; the default
+    (``None``) captures whenever the process-wide session is enabled,
+    keeping per-job counters attributable instead of accumulated.
+    """
+
+    session = telemetry.get_telemetry()
+    capture = session.enabled if capture_telemetry is None \
+        else bool(capture_telemetry)
+    if not capture:
+        return _execute_job_body(spec, cache, keep_run, report_dir, timeout)
+    with session.capture(enabled=True):
+        result = _execute_job_body(spec, cache, keep_run, report_dir,
+                                   timeout)
+        snap = session.snapshot()
+    snap["job"] = result.job_id
+    snap["status"] = result.status
+    snap["cache"] = result.compile_cache
+    snap["wall_s"] = round(result.wall_s, 6)
+    result.telemetry = snap
+    if session.enabled:
+        session.job_snapshots.append(snap)
+    return result
+
+
+def _execute_job_body(spec: JobSpec, cache: Optional[CompileCache],
+                      keep_run: bool, report_dir: Optional[str],
+                      timeout: Optional[float]) -> JobResult:
     result = JobResult(job_id=spec.job_id, spec=spec.to_dict())
     before = cache.stats() if cache is not None else None
     start = time.perf_counter()
@@ -77,27 +167,32 @@ def execute_job(spec: JobSpec, *, cache: Optional[CompileCache] = None,
     sim_config = None if spec.start_interval is None else \
         SimConfig(thread_start_interval=spec.start_interval)
     try:
-        if spec.app == "gemm":
-            run = run_gemm(spec.version, dim=spec.dim,
-                           num_threads=spec.threads, seed=spec.seed,
-                           vector_len=spec.vector_len,
-                           block_size=spec.block_size,
-                           sim_config=sim_config, compile_cache=cache)
-            result.correct = bool(run.correct)
-        else:
-            run = run_pi(spec.steps, num_threads=spec.threads,
-                         bs_compute=spec.bs_compute,
-                         sim_config=sim_config, compile_cache=cache)
-            result.value = run.value
-            result.value_error = run.error
-        result.cycles = int(run.cycles)
-        result.gflops = float(run.result.gflops)
-        result.bandwidth_gbs = float(run.result.bandwidth_gbs())
-        if report_dir:
-            result.report_path = _write_job_report(run, spec, report_dir)
-        if keep_run:
-            result.run = run
+        with _inline_deadline(timeout):
+            if spec.app == "gemm":
+                run = run_gemm(spec.version, dim=spec.dim,
+                               num_threads=spec.threads, seed=spec.seed,
+                               vector_len=spec.vector_len,
+                               block_size=spec.block_size,
+                               sim_config=sim_config, compile_cache=cache)
+                result.correct = bool(run.correct)
+            else:
+                run = run_pi(spec.steps, num_threads=spec.threads,
+                             bs_compute=spec.bs_compute,
+                             sim_config=sim_config, compile_cache=cache)
+                result.value = run.value
+                result.value_error = run.error
+            result.cycles = int(run.cycles)
+            result.gflops = float(run.result.gflops)
+            result.bandwidth_gbs = float(run.result.bandwidth_gbs())
+            if report_dir:
+                result.report_path = _write_job_report(run, spec, report_dir)
+            if keep_run:
+                result.run = run
         result.status = "ok"
+    except JobTimeout:
+        result.status = "timeout"
+        result.error = (f"job exceeded the {timeout:g}s per-job timeout "
+                        "(inline deadline)")
     except Exception as exc:
         result.status = "failed"
         result.error = f"{type(exc).__name__}: {exc}"
@@ -118,6 +213,37 @@ def _write_job_report(run, spec: JobSpec, report_dir: str) -> str:
 
 
 # ----------------------------------------------------------------------
+# heartbeats
+# ----------------------------------------------------------------------
+def _start_heartbeat(emit, interval: Optional[float]):
+    """Run ``emit()`` every ``interval`` s on a daemon thread.
+
+    Returns a zero-arg stopper; cheap no-op when interval is falsy.
+    """
+
+    if not interval or interval <= 0:
+        return lambda: None
+    stop = threading.Event()
+
+    def loop() -> None:
+        while not stop.wait(interval):
+            try:
+                emit()
+            except Exception:
+                return  # a dead channel must never kill the job
+
+    thread = threading.Thread(target=loop, name="sweep-heartbeat",
+                              daemon=True)
+    thread.start()
+
+    def stopper() -> None:
+        stop.set()
+        thread.join(timeout=1.0)
+
+    return stopper
+
+
+# ----------------------------------------------------------------------
 # worker side
 # ----------------------------------------------------------------------
 #: per-process cache handle, reused across the jobs one worker executes
@@ -125,17 +251,42 @@ _WORKER_CACHE: Optional[CompileCache] = None
 
 
 def _pool_worker(job_dict: dict, cache_dir: Optional[str], use_cache: bool,
-                 keep_run: bool, report_dir: Optional[str]) -> JobResult:
+                 keep_run: bool, report_dir: Optional[str],
+                 timeout: Optional[float] = None,
+                 capture_telemetry: bool = False,
+                 events=None, heartbeat_s: float = 1.0,
+                 index: Optional[int] = None) -> JobResult:
     global _WORKER_CACHE
     spec = JobSpec.from_dict(job_dict)
+    pid = os.getpid()
+    if events is not None:
+        try:
+            events.put(("started", spec.job_id, index, pid, time.time()))
+        except Exception:
+            events = None  # queue gone (parent shutting down): go silent
+    stop_heartbeat = _start_heartbeat(
+        (lambda: events.put(("heartbeat", spec.job_id, pid, time.time())))
+        if events is not None else None,
+        heartbeat_s if events is not None else None)
     cache = None
     if use_cache:
         wanted = cache_dir or default_cache_dir()
         if _WORKER_CACHE is None or _WORKER_CACHE.directory != wanted:
             _WORKER_CACHE = CompileCache(wanted)
         cache = _WORKER_CACHE
-    result = execute_job(spec, cache=cache, keep_run=keep_run,
-                         report_dir=report_dir)
+    try:
+        result = execute_job(spec, cache=cache, keep_run=keep_run,
+                             report_dir=report_dir, timeout=timeout,
+                             capture_telemetry=capture_telemetry)
+    finally:
+        stop_heartbeat()
+        if events is not None:
+            try:
+                # the final heartbeat: every job — timed-out ones
+                # included — is seen ending, never silently hanging
+                events.put(("heartbeat", spec.job_id, pid, time.time()))
+            except Exception:
+                pass
     if not keep_run:
         result.run = None  # keep the cross-process pickle small
     return result
@@ -149,12 +300,23 @@ def run_sweep(spec: Union[SweepSpec, Sequence[JobSpec]], *, jobs: int = 1,
               cache_dir: Optional[str] = None,
               timeout: Optional[float] = None,
               report_dir: Optional[str] = None,
-              keep_runs: bool = False) -> SweepResult:
+              keep_runs: bool = False,
+              progress: Optional[ProgressSink] = None,
+              events_out: Optional[str] = None,
+              heartbeat_s: float = 1.0,
+              capture_telemetry: Optional[bool] = None) -> SweepResult:
     """Execute every job of ``spec``; returns results in spec order.
 
     ``jobs`` is the process fan-out (``<= 1`` runs inline); ``repeat``
     replicates each job with distinct ``repeat_index``; ``timeout`` is
-    the per-job wall-clock limit in seconds (pool mode only).
+    the per-job wall-clock limit in seconds, enforced inline in the
+    job (with a dispatcher backstop in pool mode).  ``progress``
+    receives live :class:`~repro.sweep.progress.ProgressSink`
+    callbacks; ``events_out`` additionally streams ``repro.events/1``
+    JSONL records (job start/finish/failure + worker heartbeats every
+    ``heartbeat_s`` seconds).  ``capture_telemetry`` ships each job's
+    telemetry snapshot back on its result (default: whenever the
+    session is enabled), ready for ``repro timeline`` merging.
     """
 
     if isinstance(spec, SweepSpec):
@@ -164,27 +326,103 @@ def run_sweep(spec: Union[SweepSpec, Sequence[JobSpec]], *, jobs: int = 1,
         job_specs = expand_jobs(list(spec), repeat if repeat is not None
                                 else 1)
         name = "sweep"
+    session = telemetry.get_telemetry()
+    capture = session.enabled if capture_telemetry is None \
+        else bool(capture_telemetry)
+    sinks: list[ProgressSink] = []
+    if progress is not None:
+        sinks.append(progress)
+    owned_sink: Optional[JSONLEventSink] = None
+    if events_out:
+        owned_sink = JSONLEventSink(events_out)
+        sinks.append(owned_sink)
+    sink = MultiSink(sinks) if sinks else None
+    sweep_wall_start = time.time()
     start = time.perf_counter()
-    with telemetry.span("sweep", category="sweep", sweep=name,
-                        jobs=len(job_specs), parallel=jobs):
-        if jobs <= 1:
-            cache = CompileCache(cache_dir) if use_cache else None
-            results = [execute_job(job, cache=cache, keep_run=keep_runs,
-                                   report_dir=report_dir)
-                       for job in job_specs]
-        else:
-            results = _run_pool(job_specs, jobs, cache_dir, use_cache,
-                                timeout, report_dir, keep_runs)
-    outcome = SweepResult(name, results,
-                          wall_s=time.perf_counter() - start,
-                          parallel_jobs=max(1, jobs))
-    totals = outcome.totals()
-    telemetry.add("sweep.jobs", totals["jobs"])
-    telemetry.add("sweep.ok", totals["ok"])
-    telemetry.add("sweep.failures", totals["jobs"] - totals["ok"])
-    telemetry.add("sweep.cache_hits", totals["cache_hits"])
-    telemetry.add("sweep.cache_misses", totals["cache_misses"])
+    try:
+        if sink is not None:
+            sink.sweep_started(name, len(job_specs), max(1, jobs))
+        with telemetry.span("sweep", category="sweep", sweep=name,
+                            jobs=len(job_specs), parallel=jobs):
+            if jobs <= 1:
+                results = _run_inline(job_specs, cache_dir, use_cache,
+                                      timeout, report_dir, keep_runs,
+                                      sink, heartbeat_s, capture)
+            else:
+                results = _run_pool(job_specs, jobs, cache_dir, use_cache,
+                                    timeout, report_dir, keep_runs,
+                                    sink, heartbeat_s, capture)
+        outcome = SweepResult(name, results,
+                              wall_s=time.perf_counter() - start,
+                              parallel_jobs=max(1, jobs))
+        totals = outcome.totals()
+        telemetry.add("sweep.jobs", totals["jobs"])
+        telemetry.add("sweep.ok", totals["ok"])
+        telemetry.add("sweep.failures", totals["jobs"] - totals["ok"])
+        telemetry.add("sweep.cache_hits", totals["cache_hits"])
+        telemetry.add("sweep.cache_misses", totals["cache_misses"])
+        if capture:
+            _fold_job_telemetry(session, results, sweep_wall_start,
+                                pool=jobs > 1)
+        if session.enabled:
+            outcome.telemetry = session.snapshot()
+        if sink is not None:
+            sink.sweep_finished(outcome)
+    finally:
+        if owned_sink is not None:
+            owned_sink.close()
     return outcome
+
+
+def _fold_job_telemetry(session, results: list[JobResult],
+                        sweep_wall_start: float, pool: bool) -> None:
+    """Tag job snapshots with wall-clock offsets; adopt pool snapshots.
+
+    Inline jobs already appended their snapshots to the session
+    (``execute_job`` does); pool jobs captured theirs in the worker
+    process, so the parent folds them in here.  Offsets are relative
+    to the session start (or the sweep start when the session is
+    disabled) — ``time.time()`` is shared across processes, which is
+    what makes merged timelines line up.
+    """
+
+    base_wall = session.wall_start if session.enabled else sweep_wall_start
+    for result in results:
+        snap = result.telemetry
+        if not snap:
+            continue
+        snap["wall_offset_s"] = round(snap["wall_start"] - base_wall, 6)
+        if pool and session.enabled:
+            session.job_snapshots.append(snap)
+
+
+def _run_inline(job_specs: list[JobSpec], cache_dir: Optional[str],
+                use_cache: bool, timeout: Optional[float],
+                report_dir: Optional[str], keep_runs: bool,
+                sink: Optional[ProgressSink], heartbeat_s: float,
+                capture: bool) -> list[JobResult]:
+    cache = CompileCache(cache_dir) if use_cache else None
+    pid = os.getpid()
+    results = []
+    for index, job in enumerate(job_specs):
+        if sink is not None:
+            sink.job_started(job.job_id, index=index, pid=pid)
+        stop_heartbeat = _start_heartbeat(
+            (lambda job_id=job.job_id: sink.heartbeat(job_id, pid=pid))
+            if sink is not None else None,
+            heartbeat_s if sink is not None else None)
+        try:
+            result = execute_job(job, cache=cache, keep_run=keep_runs,
+                                 report_dir=report_dir, timeout=timeout,
+                                 capture_telemetry=capture)
+        finally:
+            stop_heartbeat()
+        if sink is not None:
+            # final heartbeat + terminal record, timeouts included
+            sink.heartbeat(job.job_id, pid=pid)
+            sink.job_finished(result, index=index)
+        results.append(result)
+    return results
 
 
 def _crash_result(spec: JobSpec, attempts: int, status: str,
@@ -209,7 +447,10 @@ def _terminate_pool(executor) -> None:
 def _run_pool(job_specs: list[JobSpec], workers: int,
               cache_dir: Optional[str], use_cache: bool,
               timeout: Optional[float], report_dir: Optional[str],
-              keep_runs: bool) -> list[JobResult]:
+              keep_runs: bool, sink: Optional[ProgressSink] = None,
+              heartbeat_s: float = 1.0,
+              capture: bool = False) -> list[JobResult]:
+    import multiprocessing
     from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
     from concurrent.futures.process import BrokenProcessPool
 
@@ -220,10 +461,48 @@ def _run_pool(job_specs: list[JobSpec], workers: int,
         (index, 0) for index in range(len(job_specs)))
     in_flight: dict = {}  # future -> (index, attempt, started_at)
     executor = ProcessPoolExecutor(max_workers=workers)
+    # Workers report job starts + heartbeats through a manager queue (a
+    # picklable proxy that survives both fork and spawn); created only
+    # when someone is listening.
+    manager = multiprocessing.Manager() if sink is not None else None
+    events_queue = manager.Queue() if manager is not None else None
+    announced: set[str] = set()  # job ids whose start reached the sink
+
+    def drain_events() -> None:
+        if events_queue is None or sink is None:
+            return
+        while True:
+            try:
+                message = events_queue.get_nowait()
+            except queue_module.Empty:
+                return
+            except Exception:
+                return  # manager torn down mid-drain
+            kind = message[0]
+            if kind == "started":
+                _kind, job_id, index, pid, _ts = message
+                announced.add(job_id)
+                sink.job_started(job_id, index=index, pid=pid)
+            elif kind == "heartbeat":
+                _kind, job_id, pid, _ts = message
+                sink.heartbeat(job_id, pid=pid)
+
+    def finish(result: JobResult, index: int) -> None:
+        results[index] = result
+        if sink is None:
+            return
+        drain_events()  # the job's "started" must land before its finish
+        if result.job_id not in announced:
+            # pool broke before the worker ever reported in
+            announced.add(result.job_id)
+            sink.job_started(result.job_id, index=index)
+        sink.job_finished(result, index=index)
 
     def submit(index: int, attempt: int) -> None:
         future = executor.submit(_pool_worker, job_specs[index].to_dict(),
-                                 cache_dir, use_cache, keep_runs, report_dir)
+                                 cache_dir, use_cache, keep_runs, report_dir,
+                                 timeout, capture, events_queue, heartbeat_s,
+                                 index)
         in_flight[future] = (index, attempt, time.monotonic())
 
     def recycle_pool() -> None:
@@ -242,6 +521,7 @@ def _run_pool(job_specs: list[JobSpec], workers: int,
                 submit(*pending.popleft())
             done, _ = wait(set(in_flight), timeout=_POLL_S,
                            return_when=FIRST_COMPLETED)
+            drain_events()
             pool_broken = False
             for future in done:
                 index, attempt, _started = in_flight.pop(future)
@@ -249,7 +529,7 @@ def _run_pool(job_specs: list[JobSpec], workers: int,
                 try:
                     result = future.result()
                     result.attempts = attempt + 1
-                    results[index] = result
+                    finish(result, index)
                 except BrokenProcessPool:
                     # a worker died (e.g. segfault/OOM): the whole pool is
                     # poisoned and we cannot tell which in-flight job did
@@ -258,29 +538,39 @@ def _run_pool(job_specs: list[JobSpec], workers: int,
                     if attempt < 1:
                         pending.appendleft((index, attempt + 1))
                     else:
-                        results[index] = _crash_result(
+                        finish(_crash_result(
                             spec, attempt + 1, "crashed",
-                            "worker process died twice running this job")
+                            "worker process died twice running this job"),
+                            index)
                 except Exception as exc:  # executor-level failure
-                    results[index] = _crash_result(
+                    finish(_crash_result(
                         spec, attempt + 1, "crashed",
-                        f"{type(exc).__name__}: {exc}")
+                        f"{type(exc).__name__}: {exc}"), index)
             if pool_broken:
                 recycle_pool()
                 continue
             if timeout is not None and in_flight:
+                # the job's own SIGALRM deadline normally fires first and
+                # returns a structured "timeout" result; this backstop
+                # (timeout + grace) only reclaims workers that are truly
+                # stuck — blocked in C code or wedged past their alarm
                 now = time.monotonic()
+                limit = timeout + _TIMEOUT_GRACE_S
                 expired = [item for item in in_flight.items()
-                           if now - item[1][2] > timeout]
+                           if now - item[1][2] > limit]
                 if expired:
                     for future, (index, attempt, _started) in expired:
                         del in_flight[future]
-                        results[index] = _crash_result(
+                        finish(_crash_result(
                             job_specs[index], attempt + 1, "timeout",
-                            f"job exceeded the {timeout:g}s per-job timeout")
+                            f"job exceeded the {timeout:g}s per-job timeout "
+                            "and its worker stopped responding"), index)
                     # hung workers still hold pool slots: recycle, keeping
                     # the surviving in-flight jobs queued for resubmission
                     recycle_pool()
+        drain_events()  # final heartbeats queued after the last finish
     finally:
         _terminate_pool(executor)
+        if manager is not None:
+            manager.shutdown()
     return [results[index] for index in range(len(job_specs))]

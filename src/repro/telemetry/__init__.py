@@ -25,18 +25,27 @@ registry is disabled (the default)::
 """
 
 from .core import (
-    SpanRecord, Telemetry, add, configure, get_telemetry, max_gauge,
-    set_gauge, span, telemetry_enabled, traced,
+    SNAPSHOT_SCHEMA, SpanRecord, Telemetry, add, configure, get_telemetry,
+    max_gauge, set_gauge, span, telemetry_enabled, traced,
 )
 from .exporters import (
     chrome_trace_events, export, read_jsonl, render_chrome_trace,
     render_summary, summarize_records, write_chrome_trace, write_jsonl,
 )
+from .merge import (
+    merge_sweep_doc, merged_chrome_events, merged_chrome_payload,
+    render_job_breakdown, render_merged_trace, snapshots_from_sweep_doc,
+    write_merged_trace,
+)
 
 __all__ = [
-    "SpanRecord", "Telemetry", "add", "configure", "get_telemetry",
-    "max_gauge", "set_gauge", "span", "telemetry_enabled", "traced",
+    "SNAPSHOT_SCHEMA", "SpanRecord", "Telemetry", "add", "configure",
+    "get_telemetry", "max_gauge", "set_gauge", "span", "telemetry_enabled",
+    "traced",
     "chrome_trace_events", "export", "read_jsonl", "render_chrome_trace",
     "render_summary", "summarize_records", "write_chrome_trace",
     "write_jsonl",
+    "merge_sweep_doc", "merged_chrome_events", "merged_chrome_payload",
+    "render_job_breakdown", "render_merged_trace", "snapshots_from_sweep_doc",
+    "write_merged_trace",
 ]

@@ -31,14 +31,21 @@ from __future__ import annotations
 
 import functools
 import itertools
+import os
+import threading
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 __all__ = [
-    "SpanRecord", "Telemetry", "get_telemetry", "configure",
-    "telemetry_enabled", "span", "add", "set_gauge", "max_gauge", "traced",
+    "SNAPSHOT_SCHEMA", "SpanRecord", "Telemetry", "get_telemetry",
+    "configure", "telemetry_enabled", "span", "add", "set_gauge",
+    "max_gauge", "traced",
 ]
+
+#: schema tag of the lossless :meth:`Telemetry.snapshot` wire format
+SNAPSHOT_SCHEMA = "repro.telemetry/1"
 
 
 @dataclass
@@ -134,9 +141,13 @@ class Telemetry:
         self.enabled = enabled
         self.origin_ns = time.perf_counter_ns()
         self.wall_start = time.time()
+        self.pid = os.getpid()
+        self.tid = threading.get_native_id()
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
+        #: tagged per-job snapshots folded back in by the sweep runner
+        self.job_snapshots: list[dict[str, Any]] = []
         self._stack: list[_Span] = []
         self._ids = itertools.count()
 
@@ -146,11 +157,45 @@ class Telemetry:
 
         self.origin_ns = time.perf_counter_ns()
         self.wall_start = time.time()
+        self.pid = os.getpid()
+        self.tid = threading.get_native_id()
         self.spans = []
         self.counters = {}
         self.gauges = {}
+        self.job_snapshots = []
         self._stack = []
         self._ids = itertools.count()
+
+    @contextmanager
+    def capture(self, enabled: Optional[bool] = None) -> Iterator["Telemetry"]:
+        """Temporarily swap in fresh, isolated recording state.
+
+        Everything recorded inside the ``with`` block — spans, counters,
+        gauges — lands in a clean registry whose clocks start at entry,
+        and is thrown away at exit when the previous state (including
+        any *open* spans) is restored; take :meth:`snapshot` before the
+        block ends to keep it.  ``enabled`` optionally overrides the
+        enablement for the duration (the sweep runner uses
+        ``capture(enabled=True)`` to collect per-job telemetry even
+        when the surrounding session is off).
+
+        This is what keeps per-job numbers attributable: consecutive
+        in-process sweep jobs no longer accumulate counters into one
+        shared registry.
+        """
+
+        saved = (self.enabled, self.origin_ns, self.wall_start, self.pid,
+                 self.tid, self.spans, self.counters, self.gauges,
+                 self.job_snapshots, self._stack, self._ids)
+        self.reset()
+        if enabled is not None:
+            self.enabled = enabled
+        try:
+            yield self
+        finally:
+            (self.enabled, self.origin_ns, self.wall_start, self.pid,
+             self.tid, self.spans, self.counters, self.gauges,
+             self.job_snapshots, self._stack, self._ids) = saved
 
     # ------------------------------------------------------------------
     # spans
@@ -221,15 +266,79 @@ class Telemetry:
         return totals
 
     def snapshot(self) -> dict[str, Any]:
-        """A plain-dict summary (phase totals + counters + gauges)."""
+        """Lossless plain-dict export of the registry.
 
+        The dict doubles as the cross-process wire format
+        (schema ``repro.telemetry/1``): sweep workers snapshot their
+        registry and ship it back through the job-result envelope, the
+        parent reconstructs with :meth:`from_snapshot` or merges many
+        snapshots into one timeline (:mod:`repro.telemetry.merge`).
+        ``phases_ms`` / ``num_spans`` are derived conveniences kept for
+        quick summaries; ``spans`` carries every record verbatim.
+        """
+
+        spans: list[dict[str, Any]] = []
+        for record in self.spans:
+            entry: dict[str, Any] = {
+                "id": record.id, "parent": record.parent,
+                "name": record.name, "cat": record.category,
+                "start_ns": record.start_ns, "end_ns": record.end_ns,
+                "depth": record.depth,
+            }
+            if record.args:
+                entry["args"] = dict(record.args)
+            spans.append(entry)
         return {
+            "schema": SNAPSHOT_SCHEMA,
             "wall_start": self.wall_start,
+            "pid": self.pid,
+            "tid": self.tid,
             "phases_ms": self.phase_totals_ms(),
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
             "num_spans": len(self.spans),
+            "spans": spans,
         }
+
+    @classmethod
+    def from_snapshot(cls, snap: dict[str, Any]) -> "Telemetry":
+        """Lossless inverse of :meth:`snapshot`.
+
+        ``Telemetry.from_snapshot(t.snapshot()).snapshot() ==
+        t.snapshot()`` for any registry ``t``.  The reconstructed
+        registry is disabled (it is a record, not a live session).
+        """
+
+        if not isinstance(snap, dict):
+            raise ValueError("telemetry snapshot must be a dict, got "
+                             f"{type(snap).__name__}")
+        schema = snap.get("schema")
+        if schema != SNAPSHOT_SCHEMA:
+            raise ValueError(f"telemetry snapshot schema is {schema!r}, "
+                             f"expected {SNAPSHOT_SCHEMA!r}")
+        registry = cls(enabled=False)
+        registry.wall_start = float(snap.get("wall_start",
+                                             registry.wall_start))
+        registry.pid = int(snap.get("pid", registry.pid))
+        registry.tid = int(snap.get("tid", registry.tid))
+        registry.counters = {str(k): float(v)
+                             for k, v in snap.get("counters", {}).items()}
+        registry.gauges = {str(k): float(v)
+                           for k, v in snap.get("gauges", {}).items()}
+        max_id = -1
+        for entry in snap.get("spans", []):
+            record = SpanRecord(
+                id=int(entry["id"]), parent=int(entry.get("parent", -1)),
+                name=str(entry["name"]),
+                category=str(entry.get("cat", "toolchain")),
+                start_ns=int(entry["start_ns"]),
+                end_ns=int(entry["end_ns"]),
+                depth=int(entry.get("depth", 0)),
+                args=dict(entry.get("args", {})))
+            registry.spans.append(record)
+            max_id = max(max_id, record.id)
+        registry._ids = itertools.count(max_id + 1)
+        return registry
 
 
 #: The process-wide registry all instrumentation reports into.  It is a

@@ -16,6 +16,7 @@ toolchain emits for the *simulated hardware*:
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Optional
 
 from .core import SpanRecord, Telemetry
@@ -51,6 +52,10 @@ def render_summary(telemetry: Telemetry) -> str:
         lines += ["", f"{'gauge':44} {'value':>16}", "-" * 62]
         for name in sorted(telemetry.gauges):
             lines.append(f"{name:44} {_fmt_num(telemetry.gauges[name]):>16}")
+    snapshots = getattr(telemetry, "job_snapshots", None)
+    if snapshots:
+        from .merge import render_job_breakdown
+        lines += ["", render_job_breakdown(snapshots).rstrip("\n")]
     return "\n".join(lines) + "\n"
 
 
@@ -225,22 +230,38 @@ def summarize_records(records: list[dict[str, Any]]) -> str:
 # ----------------------------------------------------------------------
 # Chrome trace-event JSON (Perfetto / chrome://tracing)
 # ----------------------------------------------------------------------
-def chrome_trace_events(telemetry: Telemetry) -> list[dict[str, Any]]:
-    """Trace events ordered monotonically by ``ts`` (microseconds)."""
+def chrome_trace_events(telemetry: Telemetry, *,
+                        pid: Optional[int] = None,
+                        tid: Optional[int] = None,
+                        process_name: str = "repro toolchain",
+                        thread_name: str = "compile→simulate→trace",
+                        base_ts_us: float = 0.0) -> list[dict[str, Any]]:
+    """Trace events ordered monotonically by ``ts`` (microseconds).
 
+    Events carry the *real* pid/tid of the recording process (captured
+    on the registry at creation) so traces from several processes can
+    be concatenated and still render as distinct process tracks in
+    Perfetto; ``pid``/``tid`` override the mapping and ``base_ts_us``
+    shifts the timeline (both used by :mod:`repro.telemetry.merge`).
+    """
+
+    pid = int(pid if pid is not None
+              else getattr(telemetry, "pid", 0) or os.getpid())
+    tid = int(tid if tid is not None
+              else getattr(telemetry, "tid", 0) or pid)
     events: list[dict[str, Any]] = [
-        {"ph": "M", "name": "process_name", "pid": 1, "tid": 1, "ts": 0,
-         "args": {"name": "repro toolchain"}},
-        {"ph": "M", "name": "thread_name", "pid": 1, "tid": 1, "ts": 0,
-         "args": {"name": "compile→simulate→trace"}},
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": tid, "ts": 0,
+         "args": {"name": process_name}},
+        {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid, "ts": 0,
+         "args": {"name": thread_name}},
     ]
-    last_ts = 0.0
+    last_ts = base_ts_us
     for record in sorted(telemetry.spans, key=lambda r: r.start_ns):
-        ts = round(record.start_us, 3)
+        ts = round(base_ts_us + record.start_us, 3)
         event: dict[str, Any] = {
             "ph": "X", "name": record.name, "cat": record.category,
             "ts": ts, "dur": round(record.duration_us, 3),
-            "pid": 1, "tid": 1,
+            "pid": pid, "tid": tid,
         }
         if record.args:
             event["args"] = record.args
@@ -249,7 +270,7 @@ def chrome_trace_events(telemetry: Telemetry) -> list[dict[str, Any]]:
             last_ts = ts
     # Counter samples at the end of the timeline, one track per counter.
     for name in sorted(telemetry.counters):
-        events.append({"ph": "C", "name": name, "pid": 1, "ts": last_ts,
+        events.append({"ph": "C", "name": name, "pid": pid, "ts": last_ts,
                        "args": {"value": telemetry.counters[name]}})
     return events
 

@@ -267,3 +267,49 @@ class TestSweep:
     def test_bad_spec_argument_clean_error(self):
         with pytest.raises(SystemExit, match="cannot read sweep spec"):
             main(["sweep", "/nonexistent.json"])
+
+    def test_progress_events_and_timeline(self, tmp_path, capsys):
+        import json
+        import os
+        out = str(tmp_path / "BENCH_cli.json")
+        events = str(tmp_path / "events.jsonl")
+        spec = tmp_path / "spec.json"
+        spec.write_text(json.dumps({"jobs": [
+            {"app": "gemm", "version": "naive", "dim": 16, "threads": 4,
+             "block_size": 4},
+            {"app": "pi", "steps": 6400},
+        ]}))
+        assert main(["sweep", str(spec), "--no-cache", "--out", out,
+                     "--progress", "--events-out", events,
+                     "--heartbeat", "0.01"]) == 0
+        captured = capsys.readouterr()
+        assert "event log written" in captured.out
+        # --progress renders to stderr, one line per job + summary
+        assert "sweep " in captured.err
+        from repro.sweep import validate_events_file
+        records = validate_events_file(events)
+        assert records[0]["schema"] == "repro.events/1"
+        assert sum(r["kind"] == "job_finished" for r in records) == 2
+
+        trace = str(tmp_path / "merged.json")
+        assert main(["timeline", out, "-o", trace]) == 0
+        text = capsys.readouterr().out
+        assert "per-job toolchain breakdown" in text
+        assert "Chrome trace written" in text
+        doc = json.load(open(trace))
+        assert doc["otherData"]["worker_pids"] == [os.getpid()]
+        assert any(e.get("cat") == "sweep.job"
+                   for e in doc["traceEvents"])
+
+    def test_timeline_rejects_doc_without_telemetry(self, tmp_path):
+        import json
+        path = tmp_path / "old.json"
+        path.write_text(json.dumps({
+            "schema": "repro.sweep/1", "name": "s",
+            "totals": {"jobs": 1, "ok": 1, "failed": 0, "timeout": 0,
+                       "crashed": 0},
+            "jobs": [{"id": "j", "status": "ok", "cycles": 10,
+                      "compile_cache": "off", "wall_s": 0.1}],
+        }))
+        with pytest.raises(SystemExit, match="no per-job telemetry"):
+            main(["timeline", str(path)])

@@ -180,20 +180,23 @@ class TestRunSweep:
 
 class TestCompileCacheInSweeps:
     def test_second_identical_job_compiles_zero_times(self, tmp_path):
-        """On a warm cache the HLS flow never runs: zero hls spans."""
+        """On a warm cache the HLS flow never runs: zero hls spans.
+
+        Each job's counters/spans now live on its own captured
+        telemetry snapshot (``result.telemetry``) rather than
+        accumulating on the session registry, so the warm job is
+        inspected in isolation even though a cold job ran just before.
+        """
 
         spec = small_jobs()[0]
         cache = CompileCache(str(tmp_path), memory=False)
-        execute_job(spec, cache=cache)  # cold: compiles + stores
+        execute_job(spec, cache=cache,
+                    capture_telemetry=True)  # cold: compiles + stores
 
-        session = telemetry.configure(enabled=True)
-        try:
-            result = execute_job(spec, cache=cache)
-            counters = dict(session.counters)
-            span_names = [s.name for s in session.spans]
-        finally:
-            telemetry.configure(enabled=False)  # resets the registry
+        result = execute_job(spec, cache=cache, capture_telemetry=True)
         assert result.compile_cache == "hit"
+        counters = result.telemetry["counters"]
+        span_names = [s["name"] for s in result.telemetry["spans"]]
         assert counters.get("compile_cache.hits") == 1
         assert "compile_cache.misses" not in counters
         assert [n for n in span_names if n.startswith("hls")] == []
