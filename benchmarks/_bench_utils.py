@@ -86,11 +86,54 @@ def pi_run_cached(steps: int) -> PiRun:
     return run
 
 
+#: filled by :func:`measure_attribution_overhead`; report() appends it
+ATTRIBUTION_OVERHEAD_PCT: list[float] = []
+
+
+def measure_attribution_overhead(version: str = "blocked",
+                                 dim: int = GEMM_DIM,
+                                 repeats: int = 3) -> float:
+    """Wall-time overhead (%) of cycle accounting on one GEMM run.
+
+    Times the identical simulation with ``SimConfig.attribution`` off
+    and on (best of ``repeats``, compile served from the shared cache so
+    only the simulate+record phase differs) and publishes the delta as
+    the ``sim.attribution.overhead_pct`` telemetry gauge — the software
+    analogue of the paper's §V-B hardware-overhead numbers.
+    """
+
+    import time
+
+    from repro import telemetry
+    from repro.apps import run_gemm
+
+    def best_wall(attribution: bool) -> float:
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            run_gemm(version, dim=dim, compile_cache=_COMPILE_CACHE,
+                     attribution=attribution)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    run_gemm(version, dim=dim, compile_cache=_COMPILE_CACHE)  # warm cache
+    base = best_wall(False)
+    with_attr = best_wall(True)
+    overhead = 0.0 if base <= 0 else 100.0 * (with_attr - base) / base
+    telemetry.set_gauge("sim.attribution.overhead_pct", overhead)
+    ATTRIBUTION_OVERHEAD_PCT.clear()
+    ATTRIBUTION_OVERHEAD_PCT.append(overhead)
+    return overhead
+
+
 def telemetry_lines() -> list[str]:
     """Per-phase toolchain breakdown lines for all instrumented runs."""
 
-    if not TELEMETRY_SNAPSHOTS:
+    if not TELEMETRY_SNAPSHOTS and not ATTRIBUTION_OVERHEAD_PCT:
         return []
+    if not TELEMETRY_SNAPSHOTS:
+        return ["", "sim.attribution.overhead_pct = "
+                    f"{ATTRIBUTION_OVERHEAD_PCT[0]:.1f}%"]
     lines = ["", "toolchain telemetry (wall ms per phase, from --telemetry "
                  "instrumentation)"]
     for key in sorted(TELEMETRY_SNAPSHOTS):
@@ -101,6 +144,9 @@ def telemetry_lines() -> list[str]:
         cps = snapshot.get("gauges", {}).get("sim.cycles_per_sec")
         throughput = f"  sim-throughput={cps:,.0f} cyc/s" if cps else ""
         lines.append(f"  {key:18s} {breakdown}{throughput}")
+    if ATTRIBUTION_OVERHEAD_PCT:
+        lines.append("  sim.attribution.overhead_pct = "
+                     f"{ATTRIBUTION_OVERHEAD_PCT[0]:.1f}%")
     return lines
 
 

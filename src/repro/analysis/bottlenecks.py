@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..profiling.attribution import Cause
 from ..profiling.config import EventKind, ThreadState
 from ..profiling.recorder import RunTrace
 from ..paraver.analysis import (
@@ -103,6 +104,25 @@ def diagnose(result: SimResult, peak_bandwidth_gbs: Optional[float] = None,
             "bandwidth findings skipped")
     phases = phase_overlap(trace, result.clock_mhz)
     metrics["phase_overlap"] = phases.overlap_fraction
+
+    # When the run carried cycle accounting (SimConfig.attribution), use
+    # the measured per-cause totals as direct evidence instead of
+    # leaving the classifier to infer causes from aggregate counters.
+    table = getattr(result, "attribution", None)
+    if table is None:
+        table = getattr(trace, "attribution", None)
+    if table is not None:
+        totals = table.cause_totals()
+        lost = {cause.name.lower(): value for cause, value in totals.items()
+                if cause is not Cause.USEFUL and value > 0}
+        for name, value in lost.items():
+            metrics[f"attr_{name}"] = value / total_thread_cycles
+        if lost:
+            ranked = sorted(lost.items(), key=lambda kv: -kv[1])
+            top = ", ".join(
+                f"{name} ({100 * value / total_thread_cycles:.1f}%)"
+                for name, value in ranked[:3])
+            findings.append(f"cycle accounting: lost cycles led by {top}")
 
     if sync > sync_threshold:
         findings.append(

@@ -7,7 +7,7 @@ benchmarks all exercise exactly the same code path.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np
@@ -85,8 +85,13 @@ def run_gemm(version: str, dim: int = 64, num_threads: int = 8,
              seed: int = 42, options: Optional[HLSOptions] = None,
              sim_config: Optional[SimConfig] = None,
              vector_len: int = 4, block_size: int = 8,
-             compile_cache: Optional[CompileCache] = None) -> GemmRun:
-    """Compile and simulate one GEMM version on random matrices."""
+             compile_cache: Optional[CompileCache] = None,
+             attribution: bool = False) -> GemmRun:
+    """Compile and simulate one GEMM version on random matrices.
+
+    ``attribution=True`` turns on cycle accounting (stall-cause
+    attribution) without the caller having to build a ``SimConfig``.
+    """
 
     if dim % block_size != 0:
         raise ValueError(f"DIM={dim} must be a multiple of "
@@ -102,9 +107,11 @@ def run_gemm(version: str, dim: int = 64, num_threads: int = 8,
 
     defines = gemm_defines(version, num_threads=num_threads,
                            vector_len=vector_len, block_size=block_size)
+    cfg = sim_config or SimConfig(thread_start_interval=50)
+    if attribution and not cfg.attribution:
+        cfg = replace(cfg, attribution=True)
     program = Program(gemm_source(version), defines=defines,
-                      options=options,
-                      sim_config=sim_config or SimConfig(thread_start_interval=50),
+                      options=options, sim_config=cfg,
                       compile_cache=compile_cache)
     outcome: ProgramResult = program.run(A=A, B=B, C=C, DIM=dim)
     return GemmRun(version, dim, outcome.sim, C, reference,
@@ -143,15 +150,19 @@ class PiRun:
 def run_pi(steps: int, num_threads: int = 8, bs_compute: int = 8,
            options: Optional[HLSOptions] = None,
            sim_config: Optional[SimConfig] = None,
-           compile_cache: Optional[CompileCache] = None) -> PiRun:
+           compile_cache: Optional[CompileCache] = None,
+           attribution: bool = False) -> PiRun:
     """Compile and simulate the π series for ``steps`` iterations."""
 
     if steps % (num_threads * bs_compute) != 0:
         raise ValueError(f"steps={steps} must divide evenly over "
                          f"{num_threads} threads x BS_compute={bs_compute}")
+    cfg = sim_config
+    if attribution:
+        cfg = replace(cfg or SimConfig(), attribution=True)
     program = Program(PI_SOURCE, defines=pi_defines(bs_compute),
                       const_env={"threads": num_threads},
-                      options=options, sim_config=sim_config,
+                      options=options, sim_config=cfg,
                       compile_cache=compile_cache)
     outcome = program.run(steps=steps, threads=num_threads)
     return PiRun(steps, float(outcome.value), outcome.sim,

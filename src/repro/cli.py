@@ -112,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seed for synthetic buffers")
         p.add_argument("--start-interval", type=int, default=2000,
                        help="cycles between thread starts")
+        p.add_argument("--attribution", action="store_true",
+                       help="attribute every non-useful cycle to a cause "
+                            "(cycle accounting; see 'repro why')")
         if name == "trace":
             p.add_argument("-o", "--output", default="trace",
                            help="trace base name (writes .prv/.pcf/.row)")
@@ -159,7 +162,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write each run's Paraver trace into DIR")
     p_demo.add_argument("--html", metavar="PATH", default=None,
                         help="write the runs' comparison report as HTML")
+    p_demo.add_argument("--attribution", action="store_true",
+                        help="run with cycle accounting so the written "
+                             "traces carry stall-cause attribution")
     add_telemetry_args(p_demo)
+
+    p_why = sub.add_parser(
+        "why", help="explain where a run's cycles went: ranked per-region "
+                    "stall-cause table from cycle accounting")
+    p_why.add_argument("source",
+                       help="a .prv trace written with --attribution, or a "
+                            "repro.report/1 JSON with attribution data")
+    p_why.add_argument("--top", type=int, default=10, metavar="N",
+                       help="regions to show (default: 10; 0 = all)")
+    p_why.add_argument("--check", action="store_true",
+                       help="exit nonzero unless the accounting invariant "
+                            "(useful + causes == cycles per thread) holds "
+                            "exactly")
+    p_why.add_argument("--clock-mhz", type=float, default=None,
+                       help="accelerator clock override for .prv sources")
 
     p_sweep = sub.add_parser(
         "sweep", help="run a batch of compile+simulate jobs, optionally "
@@ -251,9 +272,11 @@ def _load_program(args: argparse.Namespace,
         from .profiling import ProfilingConfig
         options = HLSOptions(profiling=ProfilingConfig.disabled())
     start = getattr(args, "start_interval", 2000)
+    attribution = getattr(args, "attribution", False)
     return Program(source, defines=defines, const_env=const_env,
                    options=options, filename=args.source,
-                   sim_config=SimConfig(thread_start_interval=start))
+                   sim_config=SimConfig(thread_start_interval=start,
+                                        attribution=attribution))
 
 
 def _synthesize_args(program: Program, scalars: dict[str, object],
@@ -312,6 +335,13 @@ def _print_run_summary(result) -> None:
     bw = bandwidth_series_gbs(result.trace, result.clock_mhz)
     print()
     print(render_series(bw, width=72, height=4, label="bandwidth GB/s"))
+    table = getattr(result, "attribution", None)
+    if table is not None:
+        from .report.model import AttributionSummary
+        from .report.text import render_why_text
+        summary = AttributionSummary.from_table(table, result.cycles)
+        print()
+        print(render_why_text(summary, result.cycles), end="")
     print()
     print(diagnose(result))
 
@@ -374,6 +404,90 @@ def _report_command(args: argparse.Namespace) -> int:
     if args.json:
         write_json(reports, args.json)
         print(f"JSON report written: {args.json}")
+    return 0
+
+
+def _why_command(args: argparse.Namespace) -> int:
+    from .report.model import AttributionSummary
+    from .report.text import render_why_text
+
+    path = args.source
+    if path.endswith(".json"):
+        import json as _json
+        import os
+        try:
+            with open(path) as handle:
+                doc = _json.load(handle)
+        except OSError as exc:
+            raise SystemExit(f"cannot read {path!r}: "
+                             f"{exc.strerror or exc}") from exc
+        except ValueError as exc:
+            raise SystemExit(f"{path!r} is not valid JSON: {exc}") from exc
+        schema = doc.get("schema") if isinstance(doc, dict) else None
+        if schema == "repro.sweep/1":
+            raise SystemExit(
+                f"{path!r} is a sweep result (repro.sweep/1), not a "
+                "report; run 'repro why' on one of its per-job report "
+                "JSONs (--report-dir) or on a .prv trace")
+        if schema != "repro.report/1":
+            raise SystemExit(
+                f"{path!r} is not a repro.report/1 document "
+                f"(schema: {schema!r})")
+        status = 0
+        shown = 0
+        for report in doc.get("reports", []):
+            data = report.get("attribution")
+            if data is None:
+                continue
+            summary = AttributionSummary(
+                causes={str(k): int(v)
+                        for k, v in data["causes"].items()},
+                regions=list(data.get("regions", [])),
+                per_thread=[list(row)
+                            for row in data.get("per_thread", [])],
+                total_thread_cycles=int(data["total_thread_cycles"]),
+                invariant_ok=bool(data["invariant_ok"]),
+                violations=[tuple(v) for v in
+                            data.get("violations", [])])
+            print(render_why_text(summary, int(report.get("cycles", 0)),
+                                  label=report.get("label",
+                                                   os.path.basename(path)),
+                                  top=args.top), end="")
+            shown += 1
+            if args.check and not summary.invariant_ok:
+                status = 1
+        if not shown:
+            raise SystemExit(
+                f"{path!r} has no attribution data; rebuild the report "
+                "from a run with --attribution (SimConfig.attribution)")
+        return status
+
+    from .paraver.parser import ParaverParseError
+    from .paraver.reconstruct import reconstruct_run
+    try:
+        run = reconstruct_run(path, clock_mhz=args.clock_mhz)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace {path!r}: "
+                         f"{exc.strerror or exc}") from exc
+    except (ParaverParseError, ValueError) as exc:
+        raise SystemExit(
+            f"{path!r} is not a valid Paraver trace: {exc}") from exc
+    table = run.result.attribution
+    if table is None:
+        raise SystemExit(
+            f"{path!r} carries no cycle-accounting events; re-run with "
+            "--attribution (e.g. 'repro trace --attribution' or "
+            "'repro demo --attribution --trace-dir ...')")
+    import os
+    summary = AttributionSummary.from_table(table, run.result.cycles)
+    label = os.path.splitext(os.path.basename(path))[0]
+    print(render_why_text(summary, run.result.cycles, label=label,
+                          top=args.top), end="")
+    if args.check and not summary.invariant_ok:
+        for thread, accounted, expected in summary.violations:
+            print(f"invariant violated: thread {thread} accounts for "
+                  f"{accounted} of {expected} cycles", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -531,6 +645,9 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command in ("analyze", "compare"):
         return _report_command(args)
 
+    if args.command == "why":
+        return _why_command(args)
+
     if args.command == "demo":
         from .report import build_report, write_html
         reports = []
@@ -539,7 +656,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             from .apps.gemm import GEMM_VERSIONS
             base = None
             for version in GEMM_VERSIONS:
-                run = run_gemm(version, dim=args.dim)
+                run = run_gemm(version, dim=args.dim,
+                               attribution=args.attribution)
                 base = base or run.cycles
                 print(f"{version:18s} {run.cycles:10d} cycles  "
                       f"{base / run.cycles:6.2f}x  correct={run.correct}")
@@ -549,7 +667,7 @@ def _dispatch(args: argparse.Namespace) -> int:
                     _write_demo_trace(run.result, args.trace_dir, version)
         else:
             from .apps import run_pi
-            run = run_pi(args.steps)
+            run = run_pi(args.steps, attribution=args.attribution)
             print(f"pi({args.steps}) = {run.value:.7f} "
                   f"(error {run.error:.2e}) in {run.cycles} cycles, "
                   f"{run.gflops:.3f} GFLOP/s")

@@ -85,7 +85,7 @@ def load_balance(trace: RunTrace) -> float:
         totals = trace.state_durations(thread)
         running.append(totals[ThreadState.RUNNING]
                        + totals[ThreadState.CRITICAL])
-    peak = max(running)
+    peak = max(running, default=0)
     if peak == 0:
         return 1.0
     return float(np.mean(running)) / peak

@@ -29,8 +29,9 @@ from .. import telemetry
 from ..profiling.config import EventKind, ThreadState
 from ..profiling.recorder import RunTrace
 
-__all__ = ["EVENT_TYPE_IDS", "STATE_IDS", "CommRecord", "ParaverFiles",
-           "write_trace"]
+__all__ = ["ATTR_EVENT_BASE", "ATTR_EVENT_LIMIT", "ATTR_EVENT_STRIDE",
+           "EVENT_TYPE_IDS",
+           "STATE_IDS", "CommRecord", "ParaverFiles", "write_trace"]
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,29 @@ EVENT_TYPE_IDS: dict[EventKind, int] = {
     EventKind.INTOPS: 42000003,
     EventKind.MEM_READ_BYTES: 42000004,
     EventKind.MEM_WRITE_BYTES: 42000005,
+    # cycle-accounting counters (SimConfig.attribution), binned like the
+    # hardware counters so Paraver timelines can stack them over time
+    EventKind.ATTR_USEFUL: 42000006,
+    EventKind.ATTR_II_LIMIT: 42000007,
+    EventKind.ATTR_LOCAL_PORT_CONFLICT: 42000008,
+    EventKind.ATTR_DRAM_LATENCY: 42000009,
+    EventKind.ATTR_DRAM_ARBITRATION: 42000010,
+    EventKind.ATTR_DRAM_ROW_MISS: 42000011,
+    EventKind.ATTR_SYNC_WAIT: 42000012,
+    EventKind.ATTR_DRAIN: 42000013,
+    EventKind.ATTR_CONTROL: 42000014,
 }
+
+#: base/stride of the per-region cycle-accounting event family: region
+#: ``i`` (in the order of the ``# REPRO_ATTR_REGION`` pcf comments) puts
+#: its :class:`~repro.profiling.attribution.Cause` slot ``s`` total at
+#: type id ``ATTR_EVENT_BASE + i * ATTR_EVENT_STRIDE + s``, emitted once
+#: per thread at the end of the trace.
+ATTR_EVENT_BASE = 43000000
+ATTR_EVENT_STRIDE = 16
+#: exclusive upper bound of the family (62 500 regions); types at or
+#: above it are foreign and must surface as unknown, not as attribution
+ATTR_EVENT_LIMIT = ATTR_EVENT_BASE + 1_000_000
 
 #: Paraver state values (the 2-bit hardware encodings of §IV-B.1).
 STATE_IDS: dict[ThreadState, int] = {state: int(state) for state in ThreadState}
@@ -164,10 +187,35 @@ def _write_prv(trace: RunTrace, path: str, application: str,
                     f"{comm.logical_recv}:{comm.physical_recv}:"
                     f"{comm.size}:{comm.tag}")
             records.append((comm.logical_send, 2, line))
+        if trace.attribution is not None:
+            # per-(region, thread, cause) table totals, one event each
+            # at the end of the trace; the region index ↔ key/label map
+            # travels in the .pcf (# REPRO_ATTR_REGION comments)
+            end = trace.end_cycle
+            index_of = {key: i for i, key in
+                        enumerate(_attr_region_keys(trace.attribution))}
+            for (region, t), cell in sorted(
+                    trace.attribution.cells.items(),
+                    key=lambda item: (index_of[item[0][0]], item[0][1])):
+                base = ATTR_EVENT_BASE + index_of[region] * ATTR_EVENT_STRIDE
+                for slot, value in enumerate(cell):
+                    if value == 0:
+                        continue
+                    line = (f"2:{t + 1}:1:{t + 1}:1:{end}:"
+                            f"{base + slot}:{value}")
+                    records.append((end, 3, line))
         records.sort(key=lambda rec: (rec[0], rec[1]))
         for _, _, line in records:
             out.write(line + "\n")
     return len(records)
+
+
+def _attr_region_keys(table) -> list[int]:
+    """Stable region-key order shared by the .prv records and the .pcf map."""
+
+    keys = set(table.regions)
+    keys.update(region for region, _thread in table.cells)
+    return sorted(keys)
 
 
 def _write_pcf(trace: RunTrace, path: str,
@@ -178,6 +226,11 @@ def _write_pcf(trace: RunTrace, path: str,
         out.write(f"# REPRO_SAMPLING_PERIOD {trace.sampling_period}\n")
         if clock_mhz is not None:
             out.write(f"# REPRO_CLOCK_MHZ {clock_mhz:g}\n")
+        if trace.attribution is not None:
+            for i, key in enumerate(_attr_region_keys(trace.attribution)):
+                label = trace.attribution.regions.get(key, f"region {key}")
+                label = " ".join(label.split()) or "?"
+                out.write(f"# REPRO_ATTR_REGION {i} {key} {label}\n")
         out.write("DEFAULT_OPTIONS\n\nLEVEL               THREAD\n"
                   "UNITS               NANOSEC\n\n")
         out.write("STATES\n")
@@ -194,6 +247,18 @@ def _write_pcf(trace: RunTrace, path: str,
             out.write("EVENT_TYPE\n")
             out.write(f"0    {type_id}    {_event_label(kind)}\n")
             out.write("\n")
+        if trace.attribution is not None:
+            from ..profiling.attribution import Cause
+            for i, key in enumerate(_attr_region_keys(trace.attribution)):
+                label = trace.attribution.regions.get(key, f"region {key}")
+                label = " ".join(label.split()) or "?"
+                base = ATTR_EVENT_BASE + i * ATTR_EVENT_STRIDE
+                out.write("EVENT_TYPE\n")
+                for cause in Cause:
+                    out.write(f"0    {base + int(cause)}    "
+                              f"Cycle accounting [{label}]: "
+                              f"{cause.name.lower()}\n")
+                out.write("\n")
 
 
 def _event_label(kind: EventKind) -> str:
@@ -203,6 +268,19 @@ def _event_label(kind: EventKind) -> str:
         EventKind.INTOPS: "Integer operations",
         EventKind.MEM_READ_BYTES: "External memory bytes read",
         EventKind.MEM_WRITE_BYTES: "External memory bytes written",
+        EventKind.ATTR_USEFUL: "Cycle accounting: useful (cycles)",
+        EventKind.ATTR_II_LIMIT: "Cycle accounting: II limit (cycles)",
+        EventKind.ATTR_LOCAL_PORT_CONFLICT:
+            "Cycle accounting: local port conflict (cycles)",
+        EventKind.ATTR_DRAM_LATENCY:
+            "Cycle accounting: DRAM latency (cycles)",
+        EventKind.ATTR_DRAM_ARBITRATION:
+            "Cycle accounting: DRAM arbitration (cycles)",
+        EventKind.ATTR_DRAM_ROW_MISS:
+            "Cycle accounting: DRAM row miss (cycles)",
+        EventKind.ATTR_SYNC_WAIT: "Cycle accounting: sync wait (cycles)",
+        EventKind.ATTR_DRAIN: "Cycle accounting: pipeline drain (cycles)",
+        EventKind.ATTR_CONTROL: "Cycle accounting: control (cycles)",
     }[kind]
 
 

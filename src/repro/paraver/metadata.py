@@ -37,6 +37,9 @@ class PcfInfo:
     clock_mhz: Optional[float] = None
     #: profiling sampling period recovered from REPRO_SAMPLING_PERIOD
     sampling_period: Optional[int] = None
+    #: cycle-accounting region map recovered from REPRO_ATTR_REGION
+    #: comments: family index -> (region key, display label)
+    attr_regions: dict[int, tuple[int, str]] = field(default_factory=dict)
 
 
 @dataclass
@@ -117,15 +120,19 @@ def parse_pcf(path: str) -> PcfInfo:
 
 
 def _parse_metadata_comment(line: str, info: PcfInfo) -> None:
-    parts = line.lstrip("#").split()
-    if len(parts) != 2:
+    parts = line.lstrip("#").split(None, 3)
+    if not parts:
         return
-    key, value = parts
+    key = parts[0]
     try:
-        if key == "REPRO_CLOCK_MHZ":
-            info.clock_mhz = float(value)
-        elif key == "REPRO_SAMPLING_PERIOD":
-            info.sampling_period = int(value)
+        if key == "REPRO_CLOCK_MHZ" and len(parts) == 2:
+            info.clock_mhz = float(parts[1])
+        elif key == "REPRO_SAMPLING_PERIOD" and len(parts) == 2:
+            info.sampling_period = int(parts[1])
+        elif key == "REPRO_ATTR_REGION" and len(parts) >= 3:
+            # "REPRO_ATTR_REGION <index> <region key> <label...>"
+            label = parts[3].strip() if len(parts) == 4 else ""
+            info.attr_regions[int(parts[1])] = (int(parts[2]), label)
     except ValueError:
         pass
 

@@ -30,10 +30,13 @@ from typing import Optional, Union
 
 import numpy as np
 
+from ..profiling.attribution import AttributionTable, N_SLOTS
 from ..profiling.config import EventKind, ProfilingConfig, ThreadState
 from ..profiling.recorder import RunTrace, StateInterval
 from ..sim.executor import SimResult
-from .format import EVENT_TYPE_IDS
+from .format import (
+    ATTR_EVENT_BASE, ATTR_EVENT_LIMIT, ATTR_EVENT_STRIDE, EVENT_TYPE_IDS,
+)
 from .metadata import PcfInfo, RowInfo, companion_paths, parse_pcf, parse_row
 from .parser import ParsedTrace, parse_prv
 
@@ -158,7 +161,34 @@ def reconstruct_trace(parsed: ParsedTrace,
     n_bins = max(1, -(-max(1, end_cycle) // period))
     events: dict[EventKind, np.ndarray] = {}
     unknown: dict[int, int] = {}
+    attribution: Optional[AttributionTable] = None
     for record in parsed.events:
+        if ATTR_EVENT_BASE <= record.type < ATTR_EVENT_LIMIT:
+            # per-(region, thread, cause) cycle-accounting totals
+            index, slot = divmod(record.type - ATTR_EVENT_BASE,
+                                 ATTR_EVENT_STRIDE)
+            if slot >= N_SLOTS:
+                unknown[record.type] = unknown.get(record.type, 0) + 1
+                continue
+            if attribution is None:
+                attribution = AttributionTable(num_threads)
+                if pcf is not None:
+                    attribution.regions.update(
+                        {key: label
+                         for key, label in pcf.attr_regions.values()})
+            if pcf is not None and index in pcf.attr_regions:
+                region = pcf.attr_regions[index][0]
+            else:
+                # no .pcf map: keep the family index as the region key
+                region = index
+            thread = record.task - 1
+            if 0 <= thread < num_threads:
+                cell = attribution.cells.get((region, thread))
+                if cell is None:
+                    cell = attribution.cells[(region, thread)] = \
+                        [0] * N_SLOTS
+                cell[slot] += int(record.value)
+            continue
         kind = _EVENT_KINDS.get(record.type)
         if kind is None:
             unknown[record.type] = unknown.get(record.type, 0) + 1
@@ -175,7 +205,8 @@ def reconstruct_trace(parsed: ParsedTrace,
         if 0 <= thread < num_threads:
             series[b, thread] += record.value
 
-    trace = RunTrace(num_threads, end_cycle, period, states, events)
+    trace = RunTrace(num_threads, end_cycle, period, states, events,
+                     attribution=attribution)
     return trace, period_source, unknown
 
 
@@ -227,7 +258,7 @@ def reconstruct_run(source: Union[str, ParsedTrace],
         stalls=stalls,
         dram_bytes_read=_total(EventKind.MEM_READ_BYTES),
         dram_bytes_written=_total(EventKind.MEM_WRITE_BYTES),
-        dram_requests=0, dram_row_misses=0)
+        dram_requests=0, dram_row_misses=0, attribution=trace.attribution)
 
     thread_names = row.thread_names if row is not None else []
     if len(thread_names) != trace.num_threads:

@@ -22,7 +22,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
-__all__ = ["ThreadState", "EventKind", "ProfilingConfig", "STATE_ENCODING"]
+__all__ = ["ThreadState", "EventKind", "ProfilingConfig", "STATE_ENCODING",
+           "ATTRIBUTION_EVENTS"]
 
 
 class ThreadState(enum.IntEnum):
@@ -46,6 +47,20 @@ class EventKind(enum.Enum):
     INTOPS = "intops"
     MEM_READ_BYTES = "mem_read_bytes"
     MEM_WRITE_BYTES = "mem_write_bytes"
+    # cycle-accounting counters (SimConfig.attribution).  These are
+    # *virtual*: produced by the simulator's accounting layer rather
+    # than the modeled hardware unit, so they are never part of
+    # ProfilingConfig.events and contribute no flush traffic — the
+    # simulated cycles are identical with attribution on or off.
+    ATTR_USEFUL = "attr_useful"
+    ATTR_II_LIMIT = "attr_ii_limit"
+    ATTR_LOCAL_PORT_CONFLICT = "attr_local_port_conflict"
+    ATTR_DRAM_LATENCY = "attr_dram_latency"
+    ATTR_DRAM_ARBITRATION = "attr_dram_arbitration"
+    ATTR_DRAM_ROW_MISS = "attr_dram_row_miss"
+    ATTR_SYNC_WAIT = "attr_sync_wait"
+    ATTR_DRAIN = "attr_drain"
+    ATTR_CONTROL = "attr_control"
 
     # members are singletons and compare by identity, so the identity
     # hash is consistent with equality — and C-level, unlike
@@ -55,6 +70,16 @@ class EventKind(enum.Enum):
 
     def __str__(self) -> str:  # pragma: no cover - trivial
         return self.value
+
+
+#: the attribution counters in :class:`~repro.profiling.attribution.Cause`
+#: slot order (USEFUL first)
+ATTRIBUTION_EVENTS: tuple[EventKind, ...] = (
+    EventKind.ATTR_USEFUL, EventKind.ATTR_II_LIMIT,
+    EventKind.ATTR_LOCAL_PORT_CONFLICT, EventKind.ATTR_DRAM_LATENCY,
+    EventKind.ATTR_DRAM_ARBITRATION, EventKind.ATTR_DRAM_ROW_MISS,
+    EventKind.ATTR_SYNC_WAIT, EventKind.ATTR_DRAIN, EventKind.ATTR_CONTROL,
+)
 
 
 @dataclass(frozen=True)

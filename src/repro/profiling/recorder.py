@@ -22,7 +22,10 @@ from typing import Optional
 import numpy as np
 
 from .. import telemetry
-from .config import EventKind, ProfilingConfig, ThreadState
+from .attribution import AttributionTable
+from .config import (
+    ATTRIBUTION_EVENTS, EventKind, ProfilingConfig, ThreadState,
+)
 
 __all__ = ["StateInterval", "RunTrace", "ProfilingRecorder"]
 
@@ -56,6 +59,8 @@ class RunTrace:
     trace_bits: int = 0
     #: number of buffer flushes to external memory
     flushes: int = 0
+    #: per-(region, thread) cycle accounting (SimConfig.attribution)
+    attribution: Optional[AttributionTable] = None
 
     def state_durations(self, thread: Optional[int] = None
                         ) -> dict[ThreadState, int]:
@@ -106,7 +111,8 @@ class ProfilingRecorder:
     #: initial per-kind bin capacity; grows geometrically as needed
     _INITIAL_BINS = 64
 
-    def __init__(self, config: ProfilingConfig, num_threads: int):
+    def __init__(self, config: ProfilingConfig, num_threads: int,
+                 attribution: bool = False):
         self.config = config
         self.num_threads = num_threads
         self._state_log: list[list[tuple[int, ThreadState]]] = [
@@ -117,14 +123,20 @@ class ProfilingRecorder:
         # is bit-identical to adding into the array cell directly) and
         # are flushed into the arrays once at finalize — a dict upsert
         # is several times cheaper than a numpy scalar indexed add
+        kinds = tuple(config.events)
+        if attribution:
+            # virtual counters: binned for visualization, but never part
+            # of config.events, so the flush cost model (and therefore
+            # the simulated cycles) is unchanged by attribution
+            kinds += ATTRIBUTION_EVENTS
         self._series: dict[EventKind, np.ndarray] = {
             kind: np.zeros((self._INITIAL_BINS, num_threads))
-            for kind in config.events}
-        self._accum: dict[EventKind, dict] = {
-            kind: {} for kind in config.events}
-        self._used_bins: dict[EventKind, int] = {
-            kind: 0 for kind in config.events}
+            for kind in kinds}
+        self._accum: dict[EventKind, dict] = {kind: {} for kind in kinds}
+        self._used_bins: dict[EventKind, int] = {kind: 0 for kind in kinds}
         self._enabled_kinds = set(config.events)
+        self.attribution: Optional[AttributionTable] = (
+            AttributionTable(num_threads) if attribution else None)
         self.pending_bits = 0  # trace bits not yet flushed
         self.total_bits = 0
         self.flushes = 0
@@ -220,6 +232,59 @@ class ProfilingRecorder:
                     key = (index, thread)
                     bucket[key] = bucket.get(key, 0.0) + share
 
+    def attr_deposit(self, start: int, end: int, thread: int, region: int,
+                     amounts) -> None:
+        """Account ``amounts`` cycles (slot order) to ``(region, thread)``.
+
+        The table cell takes the integer amounts verbatim; the binned
+        counter series spread each amount over the sampling windows
+        overlapping ``[start, end)`` with *integer-exact* telescoping
+        shares (cumulative ``amount * covered // span`` differences), so
+        every binned value is an integer and the per-kind series sum
+        equals the table exactly — the ``.prv`` round trip is lossless.
+        """
+
+        table = self.attribution
+        if table is None:
+            return
+        cell = table.cells.get((region, thread))
+        if cell is None:
+            cell = table.cells[(region, thread)] = [0] * len(amounts)
+        accum = self._accum
+        period = self.config.sampling_period
+        if end <= start:
+            for slot, amount in enumerate(amounts):
+                if amount:
+                    cell[slot] += amount
+            return
+        first_bin = start // period
+        last_bin = (end - 1) // period
+        if first_bin == last_bin:
+            key = (first_bin, thread)
+            for slot, amount in enumerate(amounts):
+                if amount:
+                    cell[slot] += amount
+                    bucket = accum[ATTRIBUTION_EVENTS[slot]]
+                    bucket[key] = bucket.get(key, 0.0) + amount
+            return
+        span = end - start
+        for slot, amount in enumerate(amounts):
+            if not amount:
+                continue
+            cell[slot] += amount
+            bucket = accum[ATTRIBUTION_EVENTS[slot]]
+            prev = 0
+            for index in range(first_bin, last_bin):
+                covered = (index + 1) * period - start
+                cum = amount * covered // span
+                if cum != prev:
+                    key = (index, thread)
+                    bucket[key] = bucket.get(key, 0.0) + (cum - prev)
+                    prev = cum
+            if amount != prev:
+                key = (last_bin, thread)
+                bucket[key] = bucket.get(key, 0.0) + (amount - prev)
+
     def _rows(self, kind: EventKind, index: int) -> np.ndarray:
         """The kind's [capacity, threads] array, grown to hold ``index``."""
 
@@ -301,4 +366,5 @@ class ProfilingRecorder:
                 arr[-1] += series[n_bins:used].sum(axis=0)
             events[kind] = arr
         return RunTrace(self.num_threads, end_cycle, period, states, events,
-                        trace_bits=self.total_bits, flushes=self.flushes)
+                        trace_bits=self.total_bits, flushes=self.flushes,
+                        attribution=self.attribution)

@@ -348,6 +348,83 @@ def _state_table(report: TraceReport) -> str:
             '<th>share</th></tr>' + "".join(rows) + "</table>")
 
 
+# stall-cause palette: useful stays the state green, the DRAM family
+# shares warm hues, scheduling losses go cool/neutral
+_CAUSE_COLORS = {
+    "useful": "var(--state-running)",
+    "ii_limit": "#8d6cc7",
+    "local_port_conflict": "#2a78d6",
+    "dram_latency": "#eb6834",
+    "dram_arbitration": "#c9a227",
+    "dram_row_miss": "#e34948",
+    "sync_wait": "#14857c",
+    "drain": "#9b9890",
+    "control": "#52514e",
+}
+
+
+def _attribution_panel(report: TraceReport, top: int = 8) -> str:
+    """Per-region stacked attribution bars + whole-run cause table."""
+
+    summary = report.attribution
+    assert summary is not None
+    parts = ["<h3>Cycle accounting (stall-cause attribution)</h3>"]
+    if not summary.invariant_ok:
+        parts.append('<p class="meta"><strong>accounting invariant '
+                     'violated</strong> — useful + Σ causes != cycles for '
+                     f'{len(summary.violations)} thread(s)</p>')
+    total = summary.total_thread_cycles or 1
+    rows = []
+    for name, value in summary.causes.items():
+        if value == 0 and name != "useful":
+            continue
+        color = _CAUSE_COLORS.get(name, "var(--grid)")
+        rows.append(
+            f'<tr><td><span class="swatch" style="background:{color}">'
+            f"</span>{_esc(name)}</td><td>{_fmt(value)}</td>"
+            f"<td>{100 * value / total:.2f}%</td></tr>")
+    parts.append('<table><tr><th>cause</th><th>thread-cycles</th>'
+                 '<th>share</th></tr>' + "".join(rows) + "</table>")
+
+    regions = [row for row in summary.regions
+               if row["lost"] > 0 or row["useful"] > 0][:top]
+    if regions:
+        widest = max(row["useful"] + row["lost"] for row in regions) or 1
+        cells = []
+        for row in regions:
+            segs = [("useful", row["useful"])]
+            segs += sorted(row["causes"].items(), key=lambda kv: -kv[1])
+            stacked = []
+            for name, value in segs:
+                if value <= 0:
+                    continue
+                width = 100 * value / widest
+                color = _CAUSE_COLORS.get(name, "var(--grid)")
+                stacked.append(
+                    f'<span class="bar-fill" style="display:inline-block;'
+                    f'width:{width:.2f}%;background:{color}" '
+                    f'title="{_esc(name)}: {_fmt(value)} cycles"></span>')
+            bar = (f'<span class="bar-track" style="width:340px;'
+                   f'white-space:nowrap">{"".join(stacked)}</span>')
+            dominant = max(row["causes"].items(), key=lambda kv: kv[1])[0] \
+                if row["causes"] else "–"
+            cells.append(
+                f"<tr><td>{_esc(row['label'])}</td><td>{bar}</td>"
+                f"<td>{_fmt(row['lost'])}</td>"
+                f"<td>{_esc(dominant)}</td></tr>")
+        parts.append('<table><tr><th>region</th>'
+                     '<th>useful + losses (stacked)</th>'
+                     '<th>lost</th><th>dominant cause</th></tr>'
+                     + "".join(cells) + "</table>")
+        legend = "".join(
+            f'<span style="margin-right:14px">'
+            f'<span class="swatch" style="background:{color}"></span>'
+            f"{_esc(name)}</span>"
+            for name, color in _CAUSE_COLORS.items())
+        parts.append(f'<p class="legend">{legend}</p>')
+    return "".join(parts)
+
+
 def _comparison_table(reports: Sequence[TraceReport]) -> str:
     rows = comparison_rows(reports)
     cells = []
@@ -390,6 +467,8 @@ def _run_section(report: TraceReport) -> str:
         parts.append(_state_legend())
     parts.append("<h3>State attribution</h3>")
     parts.append(_state_table(report))
+    if report.attribution is not None:
+        parts.append(_attribution_panel(report))
     if report.bandwidth_series.size:
         parts.append("<figure><figcaption>External-memory bandwidth "
                      "(GB/s) per sampling window</figcaption>"

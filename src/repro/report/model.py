@@ -39,11 +39,13 @@ from ..paraver.analysis import (
     PhaseStats, bandwidth_series_gbs, gflops_series, phase_overlap,
     total_gflops,
 )
+from ..profiling.attribution import AttributionTable, Cause
 from ..profiling.config import EventKind, ThreadState
 from ..profiling.recorder import RunTrace
 
-__all__ = ["PlatformPeaks", "EfficiencyHierarchy", "TraceReport",
-           "build_report", "report_from_prv", "comparison_rows"]
+__all__ = ["PlatformPeaks", "EfficiencyHierarchy", "AttributionSummary",
+           "TraceReport", "build_report", "report_from_prv",
+           "comparison_rows"]
 
 
 @dataclass(frozen=True)
@@ -77,6 +79,42 @@ class EfficiencyHierarchy:
 
 
 @dataclass
+class AttributionSummary:
+    """Cycle accounting rolled up for the exporters (see DESIGN.md §11).
+
+    ``causes`` maps every :class:`~repro.profiling.attribution.Cause`
+    name (lower-cased, ``useful`` included) to its whole-run cycle
+    total; ``regions`` is the ranked per-region breakdown of
+    :meth:`AttributionTable.region_rows`; ``invariant_ok`` records
+    whether ``useful + Σ causes == cycles`` held for every thread.
+    """
+
+    causes: dict[str, int]
+    regions: list[dict]
+    per_thread: list[list[int]]
+    total_thread_cycles: int
+    invariant_ok: bool
+    violations: list[tuple[int, int, int]]
+
+    @property
+    def lost_cycles(self) -> int:
+        return sum(v for k, v in self.causes.items() if k != "useful")
+
+    @staticmethod
+    def from_table(table: AttributionTable,
+                   end_cycle: int) -> "AttributionSummary":
+        totals = table.slot_totals()
+        violations = table.check(end_cycle)
+        return AttributionSummary(
+            causes={cause.name.lower(): totals[cause] for cause in Cause},
+            regions=table.region_rows(),
+            per_thread=table.thread_totals(),
+            total_thread_cycles=end_cycle * table.num_threads,
+            invariant_ok=not violations,
+            violations=violations)
+
+
+@dataclass
 class TraceReport:
     """One run's complete analysis, ready for any exporter."""
 
@@ -106,6 +144,8 @@ class TraceReport:
     gflops_series: np.ndarray = field(default_factory=lambda: np.zeros(0))
     #: kept so the HTML exporter can draw the per-thread state timeline
     trace: Optional[RunTrace] = None
+    #: cycle accounting (present when the run had SimConfig.attribution)
+    attribution: Optional[AttributionSummary] = None
 
     @property
     def seconds(self) -> float:
@@ -125,6 +165,9 @@ class TraceReport:
 
 
 def _efficiency(trace: RunTrace, stall_total: float) -> EfficiencyHierarchy:
+    if trace.num_threads <= 0:
+        # a degenerate trace (no threads) has no efficiency to speak of
+        return EfficiencyHierarchy(0.0, 1.0, 1.0, 0.0, 1.0)
     end = max(1, trace.end_cycle)
     useful = np.zeros(trace.num_threads)
     active = np.zeros(trace.num_threads)
@@ -179,6 +222,18 @@ def build_report(result, label: str = "run", source: str = "",
                      for t in range(trace.num_threads)]
     stall_total = float(sum(result.stalls))
     end = max(1, trace.end_cycle)
+    if trace.end_cycle <= 0 or trace.num_threads <= 0:
+        # zero-duration or thread-less trace: nothing ran, so nothing
+        # stalled (dividing by end * num_threads would crash on 0)
+        stall_fraction = 0.0
+    else:
+        stall_fraction = stall_total / (end * trace.num_threads)
+    attribution = None
+    table = getattr(trace, "attribution", None)
+    if table is None:
+        table = getattr(result, "attribution", None)
+    if table is not None:
+        attribution = AttributionSummary.from_table(table, trace.end_cycle)
 
     names = thread_names or [f"HW thread {t}"
                              for t in range(trace.num_threads)]
@@ -195,7 +250,7 @@ def build_report(result, label: str = "run", source: str = "",
         state_fractions=trace.state_fractions(),
         thread_states=thread_states,
         efficiency=_efficiency(trace, stall_total),
-        stall_fraction=stall_total / (end * trace.num_threads),
+        stall_fraction=stall_fraction,
         phases=phases, missing_counters=missing,
         bandwidth_gbs=moved / 1e9 / seconds,
         peak_window_bandwidth_gbs=float(bw_series.max())
@@ -207,7 +262,7 @@ def build_report(result, label: str = "run", source: str = "",
                            peak_bandwidth_gbs=peaks.bandwidth_gbs),
         thread_names=names,
         bandwidth_series=bw_series, gflops_series=fl_series,
-        trace=trace)
+        trace=trace, attribution=attribution)
 
 
 def report_from_prv(path: str, label: Optional[str] = None,

@@ -67,6 +67,19 @@ def report_to_dict(report: TraceReport) -> dict:
                         in report.diagnosis.metrics.items()},
         },
         "thread_names": list(report.thread_names),
+        "attribution": None if report.attribution is None else {
+            "causes": dict(report.attribution.causes),
+            "regions": [
+                {"region": row["region"], "label": row["label"],
+                 "useful": row["useful"], "lost": row["lost"],
+                 "causes": dict(row["causes"])}
+                for row in report.attribution.regions],
+            "per_thread": [list(row) for row in
+                           report.attribution.per_thread],
+            "total_thread_cycles": report.attribution.total_thread_cycles,
+            "invariant_ok": report.attribution.invariant_ok,
+            "violations": [list(v) for v in report.attribution.violations],
+        },
     }
 
 

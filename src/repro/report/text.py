@@ -11,9 +11,10 @@ from typing import Sequence
 
 from ..paraver.render import render_series, render_state_timeline
 from ..profiling.config import ThreadState
-from .model import TraceReport, comparison_rows
+from .model import AttributionSummary, TraceReport, comparison_rows
 
-__all__ = ["render_report_text", "render_comparison_text"]
+__all__ = ["render_report_text", "render_comparison_text",
+           "render_why_text"]
 
 _STATE_ORDER = (ThreadState.RUNNING, ThreadState.CRITICAL,
                 ThreadState.SPINNING, ThreadState.IDLE)
@@ -89,8 +90,79 @@ def render_report_text(report: TraceReport, width: int = 72) -> str:
         lines.append(render_series(report.gflops_series, width=width,
                                    height=4, label="GFLOP/s"))
 
+    if report.attribution is not None:
+        lines.append("")
+        lines.append(_render_attribution(report.attribution))
+
     lines.append("")
     lines.append(str(report.diagnosis))
+    return "\n".join(lines) + "\n"
+
+
+def _render_attribution(summary: AttributionSummary) -> str:
+    """Short whole-run cycle-accounting block for the full report."""
+
+    total = summary.total_thread_cycles or 1
+    lines = ["cycle accounting (useful + causes == thread-cycles"
+             + ("):" if summary.invariant_ok else ") [VIOLATED]:")]
+    for name, value in summary.causes.items():
+        if value == 0 and name != "useful":
+            continue
+        lines.append(f"  {name:20s} {_bar(value / total)} "
+                     f"{100 * value / total:6.2f}%  ({value} cycles)")
+    return "\n".join(lines)
+
+
+def render_why_text(summary: AttributionSummary, cycles: int,
+                    label: str = "run", top: int = 0) -> str:
+    """The ``repro why`` view: ranked per-region cycle-loss table.
+
+    Each row is one schedule region (loop, segment or pseudo-region),
+    ranked by cycles lost, with its dominant cause spelled out; the
+    header restates the whole-run totals and whether the accounting
+    invariant held exactly.
+    """
+
+    lines = [f"=== why is {label} slow? ==="]
+    total = summary.total_thread_cycles
+    useful = summary.causes.get("useful", 0)
+    lost = summary.lost_cycles
+    lines.append(f"cycles     : {cycles} "
+                 f"({summary.total_thread_cycles} thread-cycles over "
+                 f"{len(summary.per_thread)} threads)")
+    if total:
+        lines.append(f"useful     : {useful} thread-cycles "
+                     f"({100 * useful / total:.1f}%)")
+        lines.append(f"lost       : {lost} thread-cycles "
+                     f"({100 * lost / total:.1f}%)")
+    check = "holds exactly" if summary.invariant_ok else \
+        f"VIOLATED for {len(summary.violations)} thread(s)"
+    lines.append(f"invariant  : useful + Σ causes == cycles per thread "
+                 f"— {check}")
+    lines.append("")
+    rows = [row for row in summary.regions if row["lost"] > 0]
+    if not rows:
+        lines.append("(no lost cycles attributed — nothing to explain)")
+        return "\n".join(lines) + "\n"
+    if top > 0:
+        dropped = len(rows) - top
+        rows = rows[:top]
+    else:
+        dropped = 0
+    header = (f"{'region':34s} {'lost':>10s} {'share':>7s}  "
+              f"dominant cause (breakdown)")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        causes = sorted(row["causes"].items(), key=lambda kv: -kv[1])
+        dominant = causes[0][0] if causes else "?"
+        detail = ", ".join(f"{name} {value}" for name, value in causes[:3])
+        share = row["lost"] / lost if lost else 0.0
+        lines.append(f"{row['label'][:34]:34s} {row['lost']:>10d} "
+                     f"{100 * share:6.1f}%  {dominant} ({detail})")
+    if dropped > 0:
+        lines.append(f"... {dropped} more region(s); rerun with a larger "
+                     f"--top to see them")
     return "\n".join(lines) + "\n"
 
 

@@ -73,3 +73,9 @@ class SimConfig:
     #: ``"reference"`` forces the scalar oracle everywhere.  All modes
     #: produce bit-identical cycles, traces, stalls and DRAM counters.
     exec_mode: str = "auto"
+    #: cycle accounting: attribute every non-useful cycle of every
+    #: thread to a cause (II limit, BRAM port conflict, DRAM latency /
+    #: arbitration / row miss, sync wait, drain, control), per schedule
+    #: region.  Off by default; when off the simulation takes the exact
+    #: code paths it always did and produces byte-identical traces.
+    attribution: bool = False

@@ -42,11 +42,15 @@ from ..hls.schedule import (
 from ..ir.graph import Kernel, Param
 from ..ir.ops import Opcode
 from ..ir.types import PointerType, ScalarType
+from ..profiling.attribution import (
+    REGION_CONTROL, REGION_JOIN, REGION_LAUNCH, REGION_OTHER, REGION_SYNC,
+    AttributionTable, loop_region, segment_region,
+)
 from ..profiling.config import EventKind, ProfilingConfig, ThreadState
 from ..profiling.recorder import ProfilingRecorder, RunTrace
 from .config import SimConfig
 from .engine import Engine, Event
-from .fastpath import LoopPlan, build_plan, run_fast_chunk
+from .fastpath import ChunkAttr, LoopPlan, build_plan, run_fast_chunk
 from .interp import (
     CompiledSegment, KernelFunctionalContext, ThreadMemView, compile_segment,
 )
@@ -72,6 +76,8 @@ class SimResult:
     dram_bytes_written: int
     dram_requests: int
     dram_row_misses: int
+    #: per-(region, thread) cycle accounting (``SimConfig.attribution``)
+    attribution: Optional[AttributionTable] = None
 
     @property
     def seconds(self) -> float:
@@ -124,6 +130,54 @@ class _LoopState:
         issue = at if at > earliest else earliest
         self.count += 1
         return issue
+
+
+def _schedule_regions(body: BodySchedule) -> dict[int, str]:
+    """Region key -> label for every loop and segment of a schedule."""
+
+    regions: dict[int, str] = {}
+    for loop in body.walk_loops():
+        key = loop_region(loop.uid)
+        name = loop.op.attrs.get("name", "?")
+        kind = "pipelined" if loop.pipelined else "sequential"
+        regions[key] = f"for {name} [{kind} L{loop.uid}]" \
+            if loop.uid >= 0 else "(other)"
+    for segment in body.walk_segments():
+        key = segment_region(segment.uid)
+        regions[key] = f"segment S{segment.uid}" \
+            if segment.uid >= 0 else "(other)"
+    return regions
+
+
+class _RecorderAcct:
+    """Accounting sink that deposits straight into the recorder."""
+
+    __slots__ = ("recorder", "tid")
+
+    def __init__(self, recorder: ProfilingRecorder, tid: int):
+        self.recorder = recorder
+        self.tid = tid
+
+    def deposit(self, start: int, end: int, region: int, amounts) -> None:
+        self.recorder.attr_deposit(start, end, self.tid, region, amounts)
+
+
+class _BufferAcct:
+    """Accounting sink that collects deposits for later replay.
+
+    Dataflow bodies overlap their items on one hardware thread, so each
+    item records into its own buffer; once the region completes, only
+    the critical-path chain is replayed into the real sink (the
+    overlapped remainder was hidden and consumed no wall time).
+    """
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries: list[tuple[int, int, int, tuple]] = []
+
+    def deposit(self, start: int, end: int, region: int, amounts) -> None:
+        self.entries.append((start, end, region, amounts))
 
 
 class Simulation:
@@ -181,7 +235,8 @@ class Simulation:
             has_group = isinstance(segment, Segment) and \
                 self.acc.schedule.local_groups.get(segment.uid) is not None
             self._plans[item.uid] = build_plan(item, self._external_uses,
-                                               has_group)
+                                               has_group,
+                                               self.config.attribution)
         return self._plans[item.uid]
 
     # ------------------------------------------------------------------
@@ -208,7 +263,12 @@ class Simulation:
         semaphore = HardwareSemaphore(engine)
         barrier = Barrier(engine, threads)
         profiling = self.acc.options.profiling
-        recorder = ProfilingRecorder(profiling, threads)
+        attribution = self.config.attribution
+        recorder = ProfilingRecorder(profiling, threads,
+                                     attribution=attribution)
+        if attribution:
+            recorder.attribution.regions.update(
+                _schedule_regions(self.acc.schedule.body))
 
         buffers, scalar_env = self._bind_args(args, memory)
 
@@ -238,6 +298,14 @@ class Simulation:
         # the run ends when the last thread retires and its traffic drains —
         # not when the profiling flush ticker happens to take its last tick
         end = max(runtime.finish_time, memory.quiesce_time())
+        if attribution:
+            # a finished thread waits for the run (and its own memory
+            # traffic) to drain: SYNC_WAIT in the pseudo "join" region
+            for tid, finish in enumerate(runtime.finish_times):
+                if 0 <= finish < end:
+                    recorder.attr_deposit(
+                        finish, end, tid, REGION_JOIN,
+                        (0, 0, 0, 0, 0, 0, end - finish, 0, 0))
         trace = recorder.finalize(end)
         trace.flushes = recorder.flushes
         self._record_telemetry(runtime, end, wall_start)
@@ -252,6 +320,7 @@ class Simulation:
             dram_bytes_written=memory.bytes_written,
             dram_requests=memory.requests,
             dram_row_misses=memory.row_misses,
+            attribution=recorder.attribution,
         )
 
     # ------------------------------------------------------------------
@@ -351,6 +420,9 @@ class _Runtime:
         self.loop_rts: dict[int, tuple] = {}
         #: cycle at which the last hardware thread finished
         self.finish_time = 0
+        #: per-thread finish cycle (-1 while running), for join accounting
+        self.finish_times = [-1] * len(stalls)
+        self.attribution = sim.config.attribution
         self.fast_enabled = sim.config.exec_mode != "reference"
         #: fast-path accounting (sim.fastpath.* telemetry)
         self.fp_batches = 0
@@ -366,15 +438,25 @@ class _Runtime:
 
     # ------------------------------------------------------------------
     def thread_main(self, tid: int, ctx: KernelFunctionalContext):
+        acct = None
+        if self.attribution:
+            acct = _RecorderAcct(self.recorder, tid)
+            start = self.engine.now
+            if start > 0:
+                # the host starts thread contexts one after another:
+                # pre-start idle is CONTROL in the "launch" pseudo-region
+                self.recorder.attr_deposit(0, start, tid, REGION_LAUNCH,
+                                           (0, 0, 0, 0, 0, 0, 0, 0, start))
         self.recorder.set_state(self.engine.now, tid, ThreadState.RUNNING)
-        yield from self.run_body(self.sim.acc.schedule.body, tid, ctx)
+        yield from self.run_body(self.sim.acc.schedule.body, tid, ctx, acct)
         self.recorder.set_state(self.engine.now, tid, ThreadState.IDLE)
+        self.finish_times[tid] = self.engine.now
         if self.engine.now > self.finish_time:
             self.finish_time = self.engine.now
 
     # ------------------------------------------------------------------
     def run_body(self, body: BodySchedule, tid: int,
-                 ctx: KernelFunctionalContext):
+                 ctx: KernelFunctionalContext, acct=None):
         items, deps = body.items, body.deps
         if not items:
             return
@@ -383,17 +465,20 @@ class _Runtime:
                 # dispatch segments directly: one generator frame less
                 # on the most common item kind
                 if type(item) is Segment:
-                    yield from self.run_segment(item, tid, ctx)
+                    yield from self.run_segment(item, tid, ctx, acct)
                 else:
-                    yield from self.run_item(item, tid, ctx)
+                    yield from self.run_item(item, tid, ctx, acct)
             return
         # dataflow execution: spawn one process per item
         events = [Event(f"item{i}") for i in range(len(items))]
+        if acct is not None:
+            yield from self._run_dataflow(body, tid, ctx, acct, events)
+            return
 
         def item_proc(index: int):
             for dep in deps[index]:
                 yield events[dep]
-            yield from self.run_item(items[index], tid, ctx)
+            yield from self.run_item(items[index], tid, ctx, None)
             events[index].set(self.engine)
 
         for index in range(len(items)):
@@ -401,37 +486,112 @@ class _Runtime:
         for event in events:
             yield event
 
+    def _run_dataflow(self, body: BodySchedule, tid: int,
+                      ctx: KernelFunctionalContext, acct,
+                      events: list[Event]):
+        """Dataflow execution with critical-path cycle accounting.
+
+        Items overlap on one hardware thread, so each item buffers its
+        deposits; once the region completes, the chain of items that
+        determined the region's end (walking dependences whose finish
+        time equals the successor's start) is replayed into ``acct`` —
+        it tiles the region's span exactly, while overlapped work off
+        the chain was hidden and consumed no wall time.
+        """
+
+        items, deps = body.items, body.deps
+        n = len(items)
+        starts = [0] * n
+        ends = [0] * n
+        buffers: list[Optional[_BufferAcct]] = [None] * n
+
+        def item_proc(index: int):
+            for dep in deps[index]:
+                yield events[dep]
+            buffer = _BufferAcct()
+            starts[index] = self.engine.now
+            yield from self.run_item(items[index], tid, ctx, buffer)
+            ends[index] = self.engine.now
+            buffers[index] = buffer
+            events[index].set(self.engine)
+
+        region_start = self.engine.now
+        for index in range(n):
+            self.engine.spawn(item_proc(index), name=f"t{tid}-item{index}")
+        for event in events:
+            yield event
+        # walk the critical path back from the last-finishing item
+        last = 0
+        for index in range(1, n):
+            if ends[index] > ends[last]:
+                last = index
+        chain = []
+        index = last
+        while True:
+            chain.append(index)
+            start = starts[index]
+            if start <= region_start:
+                break
+            pred = None
+            for dep in deps[index]:
+                if ends[dep] == start:
+                    pred = dep
+                    break
+            if pred is None:  # pragma: no cover - defensive
+                acct.deposit(region_start, start, REGION_OTHER,
+                             (0, 0, 0, 0, 0, 0, 0, 0, start - region_start))
+                break
+            index = pred
+        for index in reversed(chain):
+            for start, end, region, amounts in buffers[index].entries:
+                acct.deposit(start, end, region, amounts)
+
     @staticmethod
     def _is_sequential(deps: list[list[int]]) -> bool:
         return all(index - 1 in dep_list
                    for index, dep_list in enumerate(deps) if index > 0)
 
     # ------------------------------------------------------------------
-    def run_item(self, item: Item, tid: int, ctx: KernelFunctionalContext):
+    def run_item(self, item: Item, tid: int, ctx: KernelFunctionalContext,
+                 acct=None):
         if isinstance(item, Segment):
-            yield from self.run_segment(item, tid, ctx)
+            yield from self.run_segment(item, tid, ctx, acct)
         elif isinstance(item, LoopNode):
             if item.pipelined:
-                yield from self.run_pipelined_loop(item, tid, ctx)
+                yield from self.run_pipelined_loop(item, tid, ctx, acct)
             else:
-                yield from self.run_sequential_loop(item, tid, ctx)
+                yield from self.run_sequential_loop(item, tid, ctx, acct)
         elif isinstance(item, IfNode):
             cond = ctx.values[item.op.operands[0].id]
+            if acct is not None:
+                now = self.engine.now
+                acct.deposit(now, now + 1, REGION_CONTROL,
+                             (0, 0, 0, 0, 0, 0, 0, 0, 1))
             yield 1
             if cond:
-                yield from self.run_body(item.branches[0], tid, ctx)
+                yield from self.run_body(item.branches[0], tid, ctx, acct)
             elif len(item.branches) > 1:
-                yield from self.run_body(item.branches[1], tid, ctx)
+                yield from self.run_body(item.branches[1], tid, ctx, acct)
         elif isinstance(item, CriticalNode):
             recorder, engine = self.recorder, self.engine
             recorder.set_state(engine.now, tid, ThreadState.SPINNING)
+            acquire_start = engine.now
             yield from self.semaphore.acquire(item.lock, tid)
+            if acct is not None and engine.now > acquire_start:
+                acct.deposit(acquire_start, engine.now, REGION_SYNC,
+                             (0, 0, 0, 0, 0, 0,
+                              engine.now - acquire_start, 0, 0))
             recorder.set_state(engine.now, tid, ThreadState.CRITICAL)
-            yield from self.run_body(item.body, tid, ctx)
+            yield from self.run_body(item.body, tid, ctx, acct)
             self.semaphore.release(item.lock, tid)
             recorder.set_state(engine.now, tid, ThreadState.RUNNING)
         elif isinstance(item, BarrierNode):
+            wait_start = self.engine.now
             yield from self.barrier.wait(tid)
+            if acct is not None and self.engine.now > wait_start:
+                acct.deposit(wait_start, self.engine.now, REGION_SYNC,
+                             (0, 0, 0, 0, 0, 0,
+                              self.engine.now - wait_start, 0, 0))
         else:  # pragma: no cover - exhaustive
             raise AssertionError(item)
 
@@ -465,8 +625,56 @@ class _Runtime:
                 extra = lateness
         return extra
 
+    def _issue_mem_attr(self, segment: Segment, tid: int,
+                        mem_trace, issue: int) -> tuple[int, int, int]:
+        """:meth:`_issue_mem` plus the binding read's stall decomposition.
+
+        Issues the exact same port requests; additionally snapshots the
+        DRAM model's row-miss and arbitration counters around each read
+        so the request that *binds* ``extra`` (the latest response,
+        first maximum) carries its row-activation penalty and
+        arbitration wait out.  Returns ``(extra, penalty, arb)``.
+        """
+
+        extra = 0
+        bind_penalty = 0
+        bind_arb = 0
+        buffers = self.buffers
+        memory = self.memory
+        rmp = memory.config.row_miss_penalty
+        for memop, (index, nbytes, is_write, name) in zip(segment.mem_ops,
+                                                          mem_trace):
+            buf = buffers[name]
+            addr = buf.base_addr + index * buf.elem_bytes
+            misses0 = memory.row_misses
+            arb0 = memory.arbitration_wait_cycles
+            completion = self.ports.request(tid, issue + memop.start, addr,
+                                            nbytes, is_write)
+            if is_write:
+                continue
+            lateness = completion - (issue + memop.start + memop.sched_latency)
+            if lateness > extra:
+                extra = lateness
+                bind_penalty = (memory.row_misses - misses0) * rmp
+                bind_arb = memory.arbitration_wait_cycles - arb0
+        return extra, bind_penalty, bind_arb
+
+    @staticmethod
+    def _peel(amount: int, penalty: int, arb: int) -> tuple[int, int, int]:
+        """Split ``amount`` stall cycles into (row, arb, latency) parts.
+
+        Deterministic priority peel against the binding request's
+        row-activation penalty and arbitration wait; whatever neither
+        explains is base latency / transfer / queueing.
+        """
+
+        row = penalty if penalty < amount else amount
+        rest = amount - row
+        arb_part = arb if arb < rest else rest
+        return row, arb_part, rest - arb_part
+
     def run_segment(self, segment: Segment, tid: int,
-                    ctx: KernelFunctionalContext):
+                    ctx: KernelFunctionalContext, acct=None):
         compiled = self.sim._get_compiled(segment)
         values = ctx.values
         if not segment.mem_ops:
@@ -479,13 +687,21 @@ class _Runtime:
             self.recorder.add_many(now, now + segment.depth, tid, (
                 (EventKind.FLOPS, segment.flops),
                 (EventKind.INTOPS, segment.intops)))
+            if acct is not None:
+                acct.deposit(now, now + segment.depth,
+                             segment_region(segment.uid),
+                             (segment.depth, 0, 0, 0, 0, 0, 0, 0, 0))
             yield segment.depth
             return
         mem = ctx.mem
         mem.trace.clear()
         self._call_segment(compiled, ctx)
         now = self.engine.now
-        extra = self._issue_mem(segment, tid, mem.trace, now)
+        if acct is None:
+            extra = self._issue_mem(segment, tid, mem.trace, now)
+        else:
+            extra, penalty, arb = self._issue_mem_attr(segment, tid,
+                                                       mem.trace, now)
         duration = segment.depth + extra
         end = now + duration
         rbytes = wbytes = 0
@@ -500,13 +716,18 @@ class _Runtime:
             (EventKind.MEM_READ_BYTES, rbytes),
             (EventKind.MEM_WRITE_BYTES, wbytes),
             (EventKind.STALLS, extra)))
+        if acct is not None:
+            row, arb_part, latency = self._peel(extra, penalty, arb)
+            acct.deposit(now, end, segment_region(segment.uid),
+                         (segment.depth, 0, 0, latency, arb_part, row,
+                          0, 0, 0))
         if extra:
             self.stalls[tid] += extra
         yield duration
 
     # ------------------------------------------------------------------
     def run_sequential_loop(self, item: LoopNode, tid: int,
-                            ctx: KernelFunctionalContext):
+                            ctx: KernelFunctionalContext, acct=None):
         op = item.op
         lower = ctx.values[op.operands[0].id]
         upper = ctx.values[op.operands[1].id]
@@ -515,21 +736,31 @@ class _Runtime:
         values = ctx.values
         body = item.body
         seq = self._is_sequential(body.deps) and body.items
+        loop_start = self.engine.now
+        trips = 0
         for iv in range(lower, upper, step):
             values[iv_id] = iv
+            trips += 1
             yield 1  # loop-control bubble between iterations
             if seq:
                 # inline the sequential run_body: this loop re-enters
                 # its body once per trip
                 for it in body.items:
                     if type(it) is Segment:
-                        yield from self.run_segment(it, tid, ctx)
+                        yield from self.run_segment(it, tid, ctx, acct)
                     elif type(it) is LoopNode and it.pipelined:
-                        yield from self.run_pipelined_loop(it, tid, ctx)
+                        yield from self.run_pipelined_loop(it, tid, ctx,
+                                                           acct)
                     else:
-                        yield from self.run_item(it, tid, ctx)
+                        yield from self.run_item(it, tid, ctx, acct)
             else:
-                yield from self.run_body(body, tid, ctx)
+                yield from self.run_body(body, tid, ctx, acct)
+        if acct is not None and trips:
+            # the per-trip control bubbles, batched into one deposit
+            # smeared over the loop's span (the table is exact; binned
+            # placement is visualization only)
+            acct.deposit(loop_start, self.engine.now, loop_region(item.uid),
+                         (0, 0, 0, 0, 0, 0, 0, 0, trips))
 
     def _make_loop_rt(self, item: LoopNode):
         """Per-loop invariants, computed once instead of per invocation.
@@ -557,7 +788,7 @@ class _Runtime:
                 item.rec_ii, item.depth)
 
     def run_pipelined_loop(self, item: LoopNode, tid: int,
-                           ctx: KernelFunctionalContext):
+                           ctx: KernelFunctionalContext, acct=None):
         op = item.op
         lower = ctx.values[op.operands[0].id]
         upper = ctx.values[op.operands[1].id]
@@ -566,6 +797,12 @@ class _Runtime:
             return
         trips = len(range(lower, upper, step))
         if not item.body.items:
+            if acct is not None:
+                now = self.engine.now
+                acct.deposit(now, now + trips * item.ii + item.depth,
+                             loop_region(item.uid),
+                             (trips * item.ii, 0, 0, 0, 0, 0, 0,
+                              item.depth, 0))
             yield trips * item.ii + item.depth
             return
 
@@ -577,6 +814,15 @@ class _Runtime:
          window, ii, rec_ii, depth) = rt
         recorder = self.recorder
         mem = ctx.mem
+
+        attr = None
+        region = 0
+        parts = None
+        last_parts = (0, 0, 0)
+        if acct is not None:
+            attr = ChunkAttr()
+            parts = attr.parts
+            region = loop_region(item.uid)
 
         cursor = self.engine.now  # this thread's next possible issue
         last_retire = cursor
@@ -591,7 +837,7 @@ class _Runtime:
             if plan is not None:
                 fast = run_fast_chunk(self, plan, item, tid, ctx, state,
                                       group, group_cost, window, inflight,
-                                      iv, step, batch, cursor)
+                                      iv, step, batch, cursor, attr)
             if fast is not None:
                 cursor, retire_hi, chunk_stall = fast
                 self.fp_batches += 1
@@ -602,6 +848,12 @@ class _Runtime:
                 chunk_wbytes = plan.wbytes_iter * batch
                 if retire_hi > last_retire:
                     last_retire = retire_hi
+                    if attr is not None:
+                        last_parts = attr.rm_parts
+                if attr is not None:
+                    c_ii, c_port = attr.aii, attr.aport
+                    c_row, c_arb, c_lat = (attr.bp_row, attr.bp_arb,
+                                           attr.bp_lat)
                 iv += step * batch
                 remaining -= batch
             else:
@@ -612,25 +864,50 @@ class _Runtime:
                 chunk_rbytes = 0
                 chunk_wbytes = 0
                 chunk_stall = 0
+                c_ii = c_port = c_row = c_arb = c_lat = 0
                 for _ in range(batch):
                     issue = state.book(cursor, ii)
+                    if attr is not None:
+                        c_ii += issue - cursor
                     if group is not None:
-                        issue = group.book(issue, group_cost)
+                        if attr is None:
+                            issue = group.book(issue, group_cost)
+                        else:
+                            booked = group.book(issue, group_cost)
+                            c_port += booked - issue
+                            issue = booked
                     if len(inflight) >= window:
                         # stage buffers full: a late memory response now
                         # stalls this thread's pipeline (backpressure)
                         oldest = inflight.popleft()
+                        oldest_parts = parts.popleft() \
+                            if attr is not None else None
                         if oldest - depth > issue:
-                            chunk_stall += oldest - depth - issue
+                            bp = oldest - depth - issue
+                            chunk_stall += bp
                             issue = oldest - depth
+                            if attr is not None:
+                                row, arb_part, latency = self._peel(
+                                    bp, oldest_parts[0], oldest_parts[1])
+                                c_row += row
+                                c_arb += arb_part
+                                c_lat += latency
                     ctx.values[iv_id] = iv
                     mem.trace.clear()
                     self._call_segment(compiled, ctx)
                     extra = 0
+                    iter_parts = (0, 0, 0)
                     if segment.mem_ops:
-                        extra = self._issue_mem(segment, tid, mem.trace, issue)
+                        if attr is None:
+                            extra = self._issue_mem(segment, tid, mem.trace,
+                                                    issue)
+                        else:
+                            extra, penalty, arb = self._issue_mem_attr(
+                                segment, tid, mem.trace, issue)
                         if extra < 0:
                             extra = 0
+                        elif attr is not None and extra:
+                            iter_parts = self._peel(extra, penalty, arb)
                         for _, nbytes, is_write, _name in mem.trace:
                             if is_write:
                                 chunk_wbytes += nbytes
@@ -638,6 +915,8 @@ class _Runtime:
                                 chunk_rbytes += nbytes
                     retire = issue + depth + extra
                     inflight.append(retire)
+                    if attr is not None:
+                        parts.append(iter_parts)
                     cursor = issue + rec_ii
                     # a late response suspends the consuming stage for
                     # `extra` cycles (§IV-B.2a) even when reordering hides
@@ -647,6 +926,8 @@ class _Runtime:
                     chunk_intops += segment.intops
                     if retire > last_retire:
                         last_retire = retire
+                        if attr is not None:
+                            last_parts = iter_parts
                     iv += step
                 remaining -= batch
             recorder.add_many(chunk_start, last_retire, tid, (
@@ -655,6 +936,13 @@ class _Runtime:
                 (EventKind.MEM_READ_BYTES, chunk_rbytes),
                 (EventKind.MEM_WRITE_BYTES, chunk_wbytes),
                 (EventKind.STALLS, chunk_stall)))
+            if acct is not None:
+                # the chunk's wall-clock advance (cursor - chunk_start)
+                # decomposes exactly: rec_ii per trip is useful issue
+                # spacing, the rest is what delayed each issue
+                acct.deposit(chunk_start, last_retire, region,
+                             (batch * rec_ii, c_ii, c_port, c_lat, c_arb,
+                              c_row, 0, 0, 0))
             if chunk_stall:
                 self.stalls[tid] += chunk_stall
             # re-synchronize with the other thread processes
@@ -664,6 +952,19 @@ class _Runtime:
                 cursor = self.engine.now
         tail = last_retire - self.engine.now
         if tail > 0:
+            if acct is not None:
+                # pipeline drain after the last issue; whatever exceeds
+                # the drain depth is the binding iteration's late
+                # memory response, peeled into its stored DRAM parts
+                drain = depth - rec_ii
+                if drain < 0:
+                    drain = 0
+                elif drain > tail:
+                    drain = tail
+                row, arb_part, latency = self._peel(
+                    tail - drain, last_parts[0], last_parts[1])
+                acct.deposit(self.engine.now, last_retire, region,
+                             (0, 0, 0, latency, arb_part, row, 0, drain, 0))
             yield tail
 
     # ------------------------------------------------------------------

@@ -29,6 +29,7 @@ bit-identical cycles, traces, stalls and DRAM counters.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,7 +41,32 @@ from .interp import (
     compile_segment_vectorized,
 )
 
-__all__ = ["LoopPlan", "build_plan", "run_fast_chunk"]
+__all__ = ["ChunkAttr", "LoopPlan", "build_plan", "run_fast_chunk"]
+
+
+class ChunkAttr:
+    """Per-chunk cycle-accounting scratch shared with the executor.
+
+    ``parts`` mirrors the in-flight retire deque one-for-one: for each
+    in-flight iteration it stores the ``(row, arb, latency)`` split of
+    that iteration's late-response ``extra``, so backpressure and the
+    final drain tail can be peeled into the same DRAM sub-causes that
+    produced them.  The scalar fallback in the executor reads and
+    maintains the same deque, keeping the decomposition bit-identical
+    across chunk strategies.
+    """
+
+    __slots__ = ("parts", "aii", "aport", "bp_row", "bp_arb", "bp_lat",
+                 "rm_parts")
+
+    def __init__(self) -> None:
+        self.parts: deque[tuple[int, int, int]] = deque()
+        self.aii = 0
+        self.aport = 0
+        self.bp_row = 0
+        self.bp_arb = 0
+        self.bp_lat = 0
+        self.rm_parts = (0, 0, 0)
 
 #: (open row, ready time) for a bank never touched — as ExternalMemory
 _NO_ROW = (-1, 0)
@@ -74,7 +100,8 @@ class LoopPlan:
     tfn: object
 
 
-def build_plan(item: LoopNode, external_uses: set[int], has_group: bool):
+def build_plan(item: LoopNode, external_uses: set[int], has_group: bool,
+               attribution: bool = False):
     """Compile the loop's body for batched execution (None if unsupported)."""
 
     if len(item.body.items) != 1:
@@ -103,14 +130,14 @@ def build_plan(item: LoopNode, external_uses: set[int], has_group: bool):
             wbytes += nbytes
         else:
             rbytes += nbytes
-    tfn = _compile_timing_loop(mem, has_group, item.uid)
+    tfn = _compile_timing_loop(mem, has_group, item.uid, attribution)
     return LoopPlan(vseg, iv_id, mem, any(not m[3] for m in mem),
                     rbytes, wbytes, tfn)
 
 
 def run_fast_chunk(runtime, plan: LoopPlan, item: LoopNode, tid: int, ctx,
                    state, group, group_cost: int, window: int, inflight,
-                   iv: int, step: int, batch: int, cursor: int):
+                   iv: int, step: int, batch: int, cursor: int, attr=None):
     """Execute one chunk of ``batch`` trips; ``None`` requests a scalar redo.
 
     On success returns ``(cursor, retire_max, stall)`` with all shared
@@ -139,13 +166,13 @@ def run_fast_chunk(runtime, plan: LoopPlan, item: LoopNode, tid: int, ctx,
         # exact per-trip machinery over the precomputed addresses.
         return _run_timing_loop(runtime, plan, item, tid, state, group,
                                 group_cost, window, inflight, batch, cursor,
-                                idxs)
+                                idxs, attr)
     issue = _closed_form_issue(state, group, group_cost, ii, rec_ii, batch,
-                               cursor)
+                               cursor, attr)
     if issue is None:  # an epoch reset inside the batch: replay exactly
         return _run_timing_loop(runtime, plan, item, tid, state, group,
                                 group_cost, window, inflight, batch, cursor,
-                                idxs)
+                                idxs, attr)
     if len(plan.mem) == 1:
         start, _off, nbytes, is_write, name = plan.mem[0]
         buf = buffers[name]
@@ -169,11 +196,21 @@ def run_fast_chunk(runtime, plan: LoopPlan, item: LoopNode, tid: int, ctx,
     inflight.extend(retires.tolist())
     while len(inflight) > window:
         inflight.popleft()
+    if attr is not None:
+        # no reads and a monotone window: extra is zero for every trip,
+        # so backpressure contributes nothing and the split parts of
+        # each in-flight iteration are all zero
+        attr.bp_row = attr.bp_arb = attr.bp_lat = 0
+        attr.rm_parts = (0, 0, 0)
+        parts = attr.parts
+        parts.extend(((0, 0, 0),) * batch)
+        while len(parts) > window:
+            parts.popleft()
     return int(issue[-1]) + rec_ii, int(retires[-1]), 0
 
 
 def _closed_form_issue(state, group, group_cost: int, ii: int, rec_ii: int,
-                       batch: int, cursor: int):
+                       batch: int, cursor: int, attr=None):
     """Solve the leaky-bucket issue recurrence for a whole batch.
 
     Valid when per-trip ``extra`` is zero (no external reads) and the
@@ -216,12 +253,25 @@ def _closed_form_issue(state, group, group_cost: int, ii: int, rec_ii: int,
     if group is not None:
         group.first = f2
         group.count = n2 + batch
+    if attr is not None:
+        # issue_k = max(cur_k, e1_k, e2_k) with cur_k the thread's own
+        # arrival (previous issue + rec_ii): the II share is what the
+        # shared-datapath bucket adds over the arrival, the port share
+        # is what the BRAM group adds on top — exactly the scalar
+        # per-trip ``issue - cursor`` / ``booked - issue`` deltas
+        cur = np.empty_like(issue)
+        cur[0] = cursor
+        if batch > 1:
+            np.add(issue[:-1], rec_ii, out=cur[1:])
+        m1 = np.maximum(cur, e1)
+        attr.aii = int((m1 - cur).sum())
+        attr.aport = int((issue - m1).sum())
     return issue
 
 
 def _run_timing_loop(runtime, plan: LoopPlan, item, tid: int, state, group,
                      group_cost: int, window: int, inflight, batch: int,
-                     cursor: int, idxs):
+                     cursor: int, idxs, attr=None):
     """Drive the plan's compiled timing loop and commit port/DRAM state."""
 
     ports = runtime.ports
@@ -245,11 +295,21 @@ def _run_timing_loop(runtime, plan: LoopPlan, item, tid: int, state, group,
         runtime.tl_static[item.uid] = tail
     last_completion = ports._last_completion
     hist_r, hist_w = runtime.port_hists[tid]
-    cursor, retire_max, stall, last_r, last_w, row_misses, arb = plan.tfn(
-        batch, cursor, state, group, inflight,
-        hist_r, last_completion.get((tid, False), 0),
-        hist_w, last_completion.get((tid, True), 0),
-        *[idx.tolist() for idx in idxs], *tail)
+    if attr is None:
+        cursor, retire_max, stall, last_r, last_w, row_misses, arb = plan.tfn(
+            batch, cursor, state, group, inflight,
+            hist_r, last_completion.get((tid, False), 0),
+            hist_w, last_completion.get((tid, True), 0),
+            *[idx.tolist() for idx in idxs], *tail)
+    else:
+        (cursor, retire_max, stall, last_r, last_w, row_misses, arb,
+         attr.aii, attr.aport, attr.bp_row, attr.bp_arb, attr.bp_lat,
+         rm_r, rm_a, rm_l) = plan.tfn(
+            batch, cursor, state, group, inflight, attr.parts,
+            hist_r, last_completion.get((tid, False), 0),
+            hist_w, last_completion.get((tid, True), 0),
+            *[idx.tolist() for idx in idxs], *tail)
+        attr.rm_parts = (rm_r, rm_a, rm_l)
     last_completion[(tid, False)] = last_r
     last_completion[(tid, True)] = last_w
     memory.requests += batch * len(plan.mem)
@@ -260,7 +320,8 @@ def _run_timing_loop(runtime, plan: LoopPlan, item, tid: int, state, group,
     return cursor, retire_max, stall
 
 
-def _compile_timing_loop(mem, has_group: bool, uid: int):
+def _compile_timing_loop(mem, has_group: bool, uid: int,
+                         attribution: bool = False):
     """exec-compile the reference per-trip timing recurrence for one loop.
 
     The leaky-bucket booking, Avalon port limit and DRAM channel/bank
@@ -274,11 +335,16 @@ def _compile_timing_loop(mem, has_group: bool, uid: int):
 
     The generated function returns
     ``(cursor, retire_max, stall, last_r, last_w, row_misses, arb)``;
-    the caller commits the port/DRAM aggregate counters.
+    the caller commits the port/DRAM aggregate counters.  With
+    ``attribution`` the signature gains the ``parts`` deque (mirroring
+    ``inflight``) and the return tuple grows the cycle-accounting
+    accumulators — the timing arithmetic itself is unchanged.
     """
 
-    args = ["batch", "cursor", "state", "group", "inflight",
-            "hist_r", "last_r", "hist_w", "last_w"]
+    args = ["batch", "cursor", "state", "group", "inflight"]
+    if attribution:
+        args += ["parts"]
+    args += ["hist_r", "last_r", "hist_w", "last_w"]
     args += [f"a{i}" for i in range(len(mem))]
     args += ["ii", "rec_ii", "depth", "group_cost", "window", "limit",
              "rmp", "base_latency", "interleave", "channels", "row_bytes",
@@ -289,11 +355,17 @@ def _compile_timing_loop(mem, has_group: bool, uid: int):
     w("    banks_get = banks.get")
     w("    pop = inflight.popleft")
     w("    push = inflight.append")
+    if attribution:
+        w("    parts_pop = parts.popleft")
+        w("    parts_push = parts.append")
     w("    gap = state._GAP")
     w("    s_first = state.first; s_count = state.count")
     if has_group:
         w("    g_first = group.first; g_count = group.count")
     w("    stall = 0; retire_max = 0; rm = 0; arb = 0")
+    if attribution:
+        w("    aii = 0; aport = 0; bp_row = 0; bp_arb = 0; bp_lat = 0")
+        w("    rm_r = 0; rm_a = 0; rm_l = 0")
     w("    for k in range(batch):")
     w("        # _LoopState.book(cursor, ii)")
     w("        if s_first < 0 or cursor > s_first + s_count * ii + gap:")
@@ -302,7 +374,11 @@ def _compile_timing_loop(mem, has_group: bool, uid: int):
     w("            earliest = s_first + s_count * ii")
     w("            issue = cursor if cursor > earliest else earliest")
     w("            s_count += 1")
+    if attribution:
+        w("        aii += issue - cursor")
     if has_group:
+        if attribution:
+            w("        g_at = issue")
         w("        if g_first < 0 or issue > g_first + g_count * group_cost"
           " + gap:")
         w("            g_first = issue; g_count = 1")
@@ -310,11 +386,25 @@ def _compile_timing_loop(mem, has_group: bool, uid: int):
         w("            earliest = g_first + g_count * group_cost")
         w("            if earliest > issue: issue = earliest")
         w("            g_count += 1")
+        if attribution:
+            w("        aport += issue - g_at")
     w("        if len(inflight) >= window:")
     w("            head = pop() - depth")
-    w("            if head > issue:")
-    w("                stall += head - issue; issue = head")
+    if attribution:
+        w("            op_r, op_a, op_l = parts_pop()")
+        w("            if head > issue:")
+        w("                bp = head - issue")
+        w("                stall += bp; issue = head")
+        w("                x = op_r if op_r < bp else bp")
+        w("                rest = bp - x")
+        w("                y = op_a if op_a < rest else rest")
+        w("                bp_row += x; bp_arb += y; bp_lat += rest - y")
+    else:
+        w("            if head > issue:")
+        w("                stall += head - issue; issue = head")
     w("        extra = 0")
+    if attribution:
+        w("        e_pen = 0; e_arb = 0")
     for i, (start, off, _nbytes, is_write, _name) in enumerate(mem):
         hist = "hist_w" if is_write else "hist_r"
         last = "last_w" if is_write else "last_r"
@@ -337,7 +427,11 @@ def _compile_timing_loop(mem, has_group: bool, uid: int):
         w("            penalty = 0")
         w("        busy = bus_busy[channel]")
         w("        if busy > begin: begin = busy")
-        w("        arb += begin - at - penalty")
+        if attribution and not is_write:
+            w("        arbv = begin - at - penalty")
+            w("        arb += arbv")
+        else:
+            w("        arb += begin - at - penalty")
         w(f"        done = begin + t{i}")
         w("        bus_busy[channel] = done")
         w("        banks[key] = (row, done)")
@@ -348,16 +442,38 @@ def _compile_timing_loop(mem, has_group: bool, uid: int):
         w(f"        {hist}.append(completion)")
         if not is_write:
             w(f"        late = completion - issue - {off}")
-            w("        if late > extra: extra = late")
+            if attribution:
+                w("        if late > extra:")
+                w("            extra = late; e_pen = penalty; e_arb = arbv")
+            else:
+                w("        if late > extra: extra = late")
+    if attribution:
+        w("        if extra > 0:")
+        w("            i_r = e_pen if e_pen < extra else extra")
+        w("            rest = extra - i_r")
+        w("            i_a = e_arb if e_arb < rest else rest")
+        w("            i_l = rest - i_a")
+        w("        else:")
+        w("            i_r = 0; i_a = 0; i_l = 0")
+        w("        parts_push((i_r, i_a, i_l))")
     w("        retire = issue + depth + extra")
     w("        push(retire)")
     w("        cursor = issue + rec_ii")
     w("        stall += extra")
-    w("        if retire > retire_max: retire_max = retire")
+    if attribution:
+        w("        if retire > retire_max:")
+        w("            retire_max = retire")
+        w("            rm_r = i_r; rm_a = i_a; rm_l = i_l")
+    else:
+        w("        if retire > retire_max: retire_max = retire")
     w("    state.first = s_first; state.count = s_count")
     if has_group:
         w("    group.first = g_first; group.count = g_count")
-    w("    return cursor, retire_max, stall, last_r, last_w, rm, arb")
+    if attribution:
+        w("    return (cursor, retire_max, stall, last_r, last_w, rm, arb,")
+        w("            aii, aport, bp_row, bp_arb, bp_lat, rm_r, rm_a, rm_l)")
+    else:
+        w("    return cursor, retire_max, stall, last_r, last_w, rm, arb")
     source = "\n".join(lines)
     namespace = {"_NO_ROW": _NO_ROW}
     code = compile(source, f"<tloop:{uid}>", "exec")

@@ -233,6 +233,11 @@ def render_job_breakdown(snapshots: Iterable[dict],
              f"{'job':34} {'status':>7} {'cache':>5} {'total':>9} "
              f"{'compile':>9} {'sim':>9} {'trace':>7}",
              "-" * 86]
+    if not snapshots:
+        # A sweep where every job failed still renders a stable table:
+        # downstream log scrapers key on this line, not on its absence.
+        lines.append("(no jobs)")
+        return "\n".join(lines) + "\n"
     for snap in snapshots:
         parts = job_phase_breakdown(snap)
         job = str(snap.get("job", "?"))
