@@ -1,0 +1,154 @@
+"""Microbenchmark of the simulator's execution modes.
+
+Runs the bundled applications (naive + blocked GEMM and the π
+integrator) under all three ``exec_mode`` settings, with stall-cause
+attribution off and on, and records best-of-``--repeat`` wall times
+side by side.  The point of the artifact is the ratio: the vectorized
+and nest-flattened paths are pure performance work, so every case also
+asserts that cycles are byte-identical across modes and stores the
+``sim.fastpath.*`` telemetry counters proving which path ran.
+
+Results land in ``BENCH_fastpath.json`` at the repo root (override
+with ``--out``), the per-exec-mode companion to ``BENCH_gemm.json``'s
+whole-sweep numbers.
+
+Run:  PYTHONPATH=src python benchmarks/bench_fastpath.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro import telemetry
+from repro.apps import run_gemm, run_pi
+from repro.sim.config import SimConfig
+
+DEFAULT_OUT = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "BENCH_fastpath.json")
+
+MODES = ("reference", "vectorized", "auto")
+
+#: counters worth pinning in the artifact (zero-valued ones are absent)
+_COUNTERS = (
+    "sim.fastpath.batches",
+    "sim.fastpath.iters_vectorized",
+    "sim.fastpath.fallbacks",
+    "sim.fastpath.nests_flattened",
+    "sim.fastpath.entries_batched",
+    "sim.fastpath.nest_fallbacks",
+)
+
+
+def _cases(dim: int, steps: int, threads: int):
+    """(label, runner) pairs; each runner takes a SimConfig."""
+
+    def gemm(version):
+        def run(cfg):
+            return run_gemm(version, dim=dim, num_threads=threads,
+                            sim_config=cfg).result
+        return run
+
+    def pi(cfg):
+        return run_pi(steps, num_threads=threads, sim_config=cfg).result
+
+    return [
+        (f"gemm-naive-d{dim}-t{threads}", gemm("naive")),
+        (f"gemm-blocked-d{dim}-t{threads}", gemm("blocked")),
+        (f"pi-s{steps}-t{threads}", pi),
+    ]
+
+
+def _bench_one(runner, mode: str, attribution: bool, repeat: int):
+    cfg = SimConfig(exec_mode=mode, attribution=attribution)
+    best_wall = None
+    result = None
+    counters: dict[str, int] = {}
+    for _ in range(repeat):
+        session = telemetry.configure(enabled=True)
+        t0 = time.perf_counter()
+        result = runner(cfg)
+        wall = time.perf_counter() - t0
+        telemetry.configure(enabled=False)
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+            counters = {key: session.counters[key] for key in _COUNTERS
+                        if session.counters.get(key)}
+    return {
+        "wall_s": round(best_wall, 4),
+        "cycles": result.cycles,
+        "telemetry": counters,
+    }
+
+
+def bench(dim: int, steps: int, threads: int, repeat: int) -> list[dict]:
+    cases = []
+    for label, runner in _cases(dim, steps, threads):
+        for attribution in (False, True):
+            modes = {mode: _bench_one(runner, mode, attribution, repeat)
+                     for mode in MODES}
+            cycles = {row["cycles"] for row in modes.values()}
+            if len(cycles) != 1:
+                raise AssertionError(
+                    f"{label} attribution={attribution}: cycles diverge "
+                    f"across exec modes: "
+                    f"{ {m: r['cycles'] for m, r in modes.items()} }")
+            ref_wall = modes["reference"]["wall_s"]
+            case = {
+                "case": label,
+                "attribution": attribution,
+                "cycles": cycles.pop(),
+                "modes": modes,
+                "speedup_vectorized": round(
+                    ref_wall / max(modes["vectorized"]["wall_s"], 1e-9), 2),
+                "speedup_auto": round(
+                    ref_wall / max(modes["auto"]["wall_s"], 1e-9), 2),
+            }
+            cases.append(case)
+            print(f"{label:<24} attr={int(attribution)}  "
+                  f"ref {ref_wall:6.3f}s  "
+                  f"auto {modes['auto']['wall_s']:6.3f}s  "
+                  f"({case['speedup_auto']:.2f}x)")
+    return cases
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help="output JSON path (default: repo root)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="repeats per case+mode; best wall wins")
+    parser.add_argument("--dim", type=int, default=32,
+                        help="GEMM dimension")
+    parser.add_argument("--steps", type=int, default=16384,
+                        help="pi integration steps")
+    parser.add_argument("--threads", type=int, default=4,
+                        help="accelerator threads")
+    args = parser.parse_args(argv)
+
+    repeat = max(1, args.repeat)
+    cases = bench(args.dim, args.steps, args.threads, repeat)
+    payload = {
+        "schema": "repro.bench_fastpath/1",
+        "name": "fastpath-exec-modes",
+        "repeat": repeat,
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpus": os.cpu_count(),
+        },
+        "cases": cases,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

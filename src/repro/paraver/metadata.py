@@ -138,25 +138,33 @@ def _parse_metadata_comment(line: str, info: PcfInfo) -> None:
 
 
 def parse_row(path: str) -> RowInfo:
-    """Parse a ``.row`` file into its per-level label lists."""
+    """Parse a ``.row`` file into its per-level label lists.
+
+    Streams line by line: a ``LEVEL <name> SIZE <n>`` header opens a
+    level whose next *n* lines are its labels (truncated at EOF), and
+    anything outside a level block is ignored.
+    """
 
     info = RowInfo()
+    level: Optional[str] = None
+    labels: list[str] = []
+    remaining = 0
     with open(path) as handle:
-        lines = [line.rstrip("\n") for line in handle]
-    i = 0
-    while i < len(lines):
-        line = lines[i].strip()
-        parts = line.split()
-        # "LEVEL <name> SIZE <n>"
-        if len(parts) >= 4 and parts[0].upper() == "LEVEL" \
-                and parts[-2].upper() == "SIZE" and parts[-1].isdigit():
-            level = " ".join(parts[1:-2]).upper()
-            count = int(parts[-1])
-            labels = [lines[j].strip() for j in range(i + 1,
-                                                      min(i + 1 + count,
-                                                          len(lines)))]
-            info.levels[level] = labels
-            i += 1 + count
-        else:
-            i += 1
+        for raw in handle:
+            line = raw.rstrip("\n")
+            if remaining > 0:
+                labels.append(line.strip())
+                remaining -= 1
+                continue
+            parts = line.strip().split()
+            # "LEVEL <name> SIZE <n>"
+            if len(parts) >= 4 and parts[0].upper() == "LEVEL" \
+                    and parts[-2].upper() == "SIZE" and parts[-1].isdigit():
+                if level is not None:
+                    info.levels[level] = labels
+                level = " ".join(parts[1:-2]).upper()
+                labels = []
+                remaining = int(parts[-1])
+    if level is not None:
+        info.levels[level] = labels
     return info

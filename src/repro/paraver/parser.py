@@ -5,15 +5,24 @@ the round-trip tests and by the analysis helpers when working from
 files rather than live :class:`~repro.profiling.recorder.RunTrace`
 objects.  Communication records (type 3) are recognized and skipped
 (the paper excludes them too, §IV-A).
+
+Two entry points:
+
+* :func:`stream_prv` yields one record at a time straight off the line
+  iterator — constant memory regardless of trace size, for consumers
+  (reconstruction, the trace-analysis service) that fold records as
+  they arrive;
+* :func:`parse_prv` collects the stream into a :class:`ParsedTrace`
+  for callers that want the whole trace in memory.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Union
 
 __all__ = ["ParsedState", "ParsedEvent", "ParsedComm", "ParsedTrace",
-           "parse_prv"]
+           "PrvHeader", "parse_prv", "stream_prv"]
 
 
 @dataclass(frozen=True)
@@ -72,15 +81,32 @@ class ParaverParseError(Exception):
     """Malformed .prv content."""
 
 
-def parse_prv(path: str) -> ParsedTrace:
-    """Parse a ``.prv`` file written by :mod:`repro.paraver.format`."""
+@dataclass(frozen=True)
+class PrvHeader:
+    """The ``#Paraver`` header line, yielded first by :func:`stream_prv`."""
+
+    end_time: int
+    num_tasks: int
+
+
+PrvRecord = Union[ParsedState, ParsedEvent, ParsedComm]
+
+
+def stream_prv(path: str) -> Iterator[Union[PrvHeader, PrvRecord]]:
+    """Stream a ``.prv`` file record by record.
+
+    Yields the :class:`PrvHeader` first, then every record in file
+    order.  Event lines carrying several ``type:value`` pairs yield one
+    :class:`ParsedEvent` per pair.  Nothing is buffered beyond the
+    current line, so multi-GB traces stream in constant memory.
+    """
 
     with open(path) as handle:
         header = handle.readline().rstrip("\n")
         if not header.startswith("#Paraver"):
             raise ParaverParseError(f"{path}: missing #Paraver header")
         end_time, num_tasks = _parse_header(header)
-        trace = ParsedTrace(end_time, num_tasks)
+        yield PrvHeader(end_time, num_tasks)
         for line_no, line in enumerate(handle, start=2):
             line = line.strip()
             if not line or line.startswith("#") or line.startswith("c:"):
@@ -94,10 +120,10 @@ def parse_prv(path: str) -> ParsedTrace:
                         raise ValueError(
                             f"state record ends before it begins "
                             f"({end} < {begin})")
-                    trace.states.append(ParsedState(
+                    yield ParsedState(
                         cpu=int(fields[1]), task=int(fields[3]),
                         begin=begin, end=end,
-                        state=int(fields[7])))
+                        state=int(fields[7]))
                 elif kind == 2:
                     cpu, _appl, task, _thread = (int(fields[1]), int(fields[2]),
                                                  int(fields[3]), int(fields[4]))
@@ -106,22 +132,37 @@ def parse_prv(path: str) -> ParsedTrace:
                     if len(pairs) % 2:
                         raise ValueError("odd type:value list")
                     for i in range(0, len(pairs), 2):
-                        trace.events.append(ParsedEvent(
+                        yield ParsedEvent(
                             cpu=cpu, task=task, time=time,
-                            type=int(pairs[i]), value=int(pairs[i + 1])))
+                            type=int(pairs[i]), value=int(pairs[i + 1]))
                 elif kind == 3:
-                    trace.comms.append(ParsedComm(
+                    yield ParsedComm(
                         src_task=int(fields[3]), dst_task=int(fields[9]),
                         logical_send=int(fields[5]),
                         physical_send=int(fields[6]),
                         logical_recv=int(fields[11]),
                         physical_recv=int(fields[12]),
-                        size=int(fields[13]), tag=int(fields[14])))
+                        size=int(fields[13]), tag=int(fields[14]))
                 else:
                     raise ValueError(f"unknown record type {kind}")
             except (ValueError, IndexError) as exc:
                 raise ParaverParseError(f"{path}:{line_no}: {exc}") from exc
-        return trace
+
+
+def parse_prv(path: str) -> ParsedTrace:
+    """Parse a ``.prv`` file written by :mod:`repro.paraver.format`."""
+
+    records = stream_prv(path)
+    header = next(records)
+    trace = ParsedTrace(header.end_time, header.num_tasks)
+    for record in records:
+        if type(record) is ParsedEvent:
+            trace.events.append(record)
+        elif type(record) is ParsedState:
+            trace.states.append(record)
+        else:
+            trace.comms.append(record)
+    return trace
 
 
 def _parse_header(header: str) -> tuple[int, int]:

@@ -26,6 +26,7 @@ from __future__ import annotations
 import math
 import os
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Optional, Union
 
 import numpy as np
@@ -38,7 +39,7 @@ from .format import (
     ATTR_EVENT_BASE, ATTR_EVENT_LIMIT, ATTR_EVENT_STRIDE, EVENT_TYPE_IDS,
 )
 from .metadata import PcfInfo, RowInfo, companion_paths, parse_pcf, parse_row
-from .parser import ParsedTrace, parse_prv
+from .parser import ParsedEvent, ParsedState, ParsedTrace, stream_prv
 
 __all__ = ["ReconstructedRun", "reconstruct_trace", "reconstruct_run",
            "recover_sampling_period"]
@@ -77,7 +78,8 @@ class ReconstructedRun:
         return self.result.trace
 
 
-def recover_sampling_period(parsed: ParsedTrace) -> Optional[int]:
+def recover_sampling_period(
+        parsed: Union[str, ParsedTrace]) -> Optional[int]:
     """Infer the sampling period from event-record cadence.
 
     The writer stamps each counter flush at its window's *end*,
@@ -85,15 +87,29 @@ def recover_sampling_period(parsed: ParsedTrace) -> Optional[int]:
     unclamped flush time is a positive multiple of the period and their
     GCD recovers it.  Returns ``None`` when the trace has no usable
     event records (the cadence is then unknowable).
+
+    ``parsed`` may also be a ``.prv`` path, in which case the file is
+    streamed and only the distinct flush times are held in memory.
     """
 
-    times = {e.time for e in parsed.events
-             if 0 < e.time < parsed.end_time}
+    if isinstance(parsed, str):
+        records = stream_prv(parsed)
+        end_time = next(records).end_time
+        event_times = (r.time for r in records if type(r) is ParsedEvent)
+    else:
+        end_time = parsed.end_time
+        event_times = (e.time for e in parsed.events)
     # an event exactly at end_time is unclamped only if it is also the
     # window boundary; including it can only leave the GCD unchanged or
     # wrong, so prefer interior times and fall back to the end time.
-    if not times:
-        times = {e.time for e in parsed.events if e.time > 0}
+    interior: set[int] = set()
+    positive: set[int] = set()
+    for time in event_times:
+        if time > 0:
+            positive.add(time)
+            if time < end_time:
+                interior.add(time)
+    times = interior or positive
     if not times:
         return None
     return math.gcd(*times) if len(times) > 1 else times.pop()
@@ -117,18 +133,31 @@ def _fill_idle_gaps(thread: int, intervals: list[StateInterval],
     return covered
 
 
-def reconstruct_trace(parsed: ParsedTrace,
+def reconstruct_trace(parsed: Union[str, ParsedTrace],
                       sampling_period: Optional[int] = None,
                       pcf: Optional[PcfInfo] = None
                       ) -> tuple[RunTrace, str, dict[int, int]]:
     """Rebuild a :class:`RunTrace` from parsed ``.prv`` records.
 
+    ``parsed`` may be an in-memory :class:`ParsedTrace` or a ``.prv``
+    path.  The path form streams the file and folds each record into
+    the output structures as it arrives, so only the reconstructed
+    trace (state intervals + ``[bins, threads]`` arrays) is ever held
+    in memory — never the flat record list.  When the sampling period
+    must be recovered from cadence that costs one extra streaming pass
+    over the file.
+
     Returns ``(trace, period_source, unknown_event_types)``; see
     :class:`ReconstructedRun` for the source vocabulary.
     """
 
-    end_cycle = parsed.end_time
-    num_threads = parsed.num_tasks
+    streaming = isinstance(parsed, str)
+    if streaming:
+        records = stream_prv(parsed)
+        header = next(records)
+        end_cycle, num_threads = header.end_time, header.num_tasks
+    else:
+        end_cycle, num_threads = parsed.end_time, parsed.num_tasks
 
     if sampling_period is not None:
         period, period_source = sampling_period, "explicit"
@@ -142,27 +171,29 @@ def reconstruct_trace(parsed: ParsedTrace,
             period, period_source = ProfilingConfig().sampling_period, \
                 "default"
 
+    if streaming:
+        record_iter = records
+    else:
+        record_iter = chain(parsed.states, parsed.events)
+
     # -- states: tasks are 1-based in the .prv, threads 0-based here
     per_thread: list[list[StateInterval]] = [[] for _ in range(num_threads)]
-    for record in parsed.states:
-        thread = record.task - 1
-        if not 0 <= thread < num_threads:
-            continue
-        per_thread[thread].append(StateInterval(
-            thread, ThreadState(record.state), record.begin, record.end))
-    states = []
-    for thread in range(num_threads):
-        intervals = sorted(per_thread[thread],
-                           key=lambda iv: (iv.start, iv.end))
-        states.append(_fill_idle_gaps(thread, intervals, end_cycle))
-
     # -- events: flush times map back to bins; the final window absorbs
     #    clamped stamps exactly as ProfilingRecorder.finalize did
     n_bins = max(1, -(-max(1, end_cycle) // period))
     events: dict[EventKind, np.ndarray] = {}
     unknown: dict[int, int] = {}
     attribution: Optional[AttributionTable] = None
-    for record in parsed.events:
+    for record in record_iter:
+        if type(record) is ParsedState:
+            thread = record.task - 1
+            if not 0 <= thread < num_threads:
+                continue
+            per_thread[thread].append(StateInterval(
+                thread, ThreadState(record.state), record.begin, record.end))
+            continue
+        if type(record) is not ParsedEvent:
+            continue  # comm records carry nothing we reconstruct
         if ATTR_EVENT_BASE <= record.type < ATTR_EVENT_LIMIT:
             # per-(region, thread, cause) cycle-accounting totals
             index, slot = divmod(record.type - ATTR_EVENT_BASE,
@@ -205,6 +236,12 @@ def reconstruct_trace(parsed: ParsedTrace,
         if 0 <= thread < num_threads:
             series[b, thread] += record.value
 
+    states = []
+    for thread in range(num_threads):
+        intervals = sorted(per_thread[thread],
+                           key=lambda iv: (iv.start, iv.end))
+        states.append(_fill_idle_gaps(thread, intervals, end_cycle))
+
     trace = RunTrace(num_threads, end_cycle, period, states, events,
                      attribution=attribution)
     return trace, period_source, unknown
@@ -216,14 +253,15 @@ def reconstruct_run(source: Union[str, ParsedTrace],
                     ) -> ReconstructedRun:
     """Load a ``.prv`` (with its companions, when present) end to end.
 
-    ``source`` is a ``.prv`` path or an already-parsed trace.  The
-    per-thread stall totals of the returned ``SimResult`` come from the
-    ``STALLS`` event series; DRAM byte totals from the memory counters.
+    ``source`` is a ``.prv`` path or an already-parsed trace.  Paths
+    are streamed record by record (see :func:`reconstruct_trace`), so
+    loading never materializes the flat record list.  The per-thread
+    stall totals of the returned ``SimResult`` come from the ``STALLS``
+    event series; DRAM byte totals from the memory counters.
     """
 
     pcf = row = None
     if isinstance(source, str):
-        parsed = parse_prv(source)
         path = source
         pcf_path, row_path = companion_paths(path)
         if os.path.exists(pcf_path):
@@ -231,10 +269,10 @@ def reconstruct_run(source: Union[str, ParsedTrace],
         if os.path.exists(row_path):
             row = parse_row(row_path)
     else:
-        parsed, path = source, "<memory>"
+        path = "<memory>"
 
     trace, period_source, unknown = reconstruct_trace(
-        parsed, sampling_period=sampling_period, pcf=pcf)
+        source, sampling_period=sampling_period, pcf=pcf)
 
     if clock_mhz is not None:
         clock, clock_source = clock_mhz, "explicit"

@@ -333,25 +333,30 @@ class ProfilingRecorder:
         states: list[list[StateInterval]] = []
         for thread in range(self.num_threads):
             log = self._state_log[thread]
-            # vectorized interval construction: each record runs until
-            # the next record's cycle (the last until end_cycle); empty
-            # intervals (same-cycle re-transitions) are masked out
-            starts = np.fromiter((cycle for cycle, _ in log),
-                                 dtype=np.int64, count=len(log))
-            ends = np.empty_like(starts)
-            ends[:-1] = starts[1:]
-            ends[-1] = end_cycle
-            keep = np.nonzero(ends > starts)[0]
-            states.append([StateInterval(thread, log[i][1],
-                                         int(starts[i]), int(ends[i]))
-                           for i in keep])
+            # each record runs until the next record's cycle (the last
+            # until end_cycle); empty intervals (same-cycle
+            # re-transitions) are dropped
+            ends = [cycle for cycle, _ in log]
+            del ends[0]
+            ends.append(end_cycle)
+            states.append([StateInterval(thread, st, s, e)
+                           for (s, st), e in zip(log, ends) if e > s])
 
         # drain the deposit accumulators into the per-kind arrays (each
         # cell receives the sum of its deposits, accumulated in deposit
-        # order — bit-identical to per-deposit array adds)
+        # order — bit-identical to per-deposit array adds; cells are
+        # unique dict keys, so the scatter-add touches each exactly once)
         for kind, bucket in self._accum.items():
-            for (index, thread), amount in bucket.items():
-                self._rows(kind, index)[index, thread] += amount
+            if not bucket:
+                continue
+            n = len(bucket)
+            idx = np.fromiter((k[0] for k in bucket), dtype=np.intp,
+                              count=n)
+            thr = np.fromiter((k[1] for k in bucket), dtype=np.intp,
+                              count=n)
+            vals = np.fromiter(bucket.values(), dtype=np.float64, count=n)
+            series = self._rows(kind, int(idx.max()))
+            np.add.at(series, (idx, thr), vals)
             bucket.clear()
 
         period = self.config.sampling_period

@@ -18,7 +18,7 @@ import heapq
 import itertools
 from typing import Generator, Iterable, Optional, Union
 
-__all__ = ["Engine", "Event", "Process", "Command"]
+__all__ = ["Engine", "Event", "Process", "Subrun", "Command"]
 
 
 class Event:
@@ -48,18 +48,38 @@ class Event:
         return f"Event({label}, pending, waiters={len(self.waiters)})"
 
 
-Command = Union[int, Event, "Process"]
+class Subrun:
+    """Engine command: run ``generator`` in the yielding process's slot.
+
+    Semantically identical to ``yield from generator`` — the caller
+    resumes in the same dispatch slot once the sub-generator is
+    exhausted — but the engine swaps the process's generator pointer so
+    every resume enters the sub-generator directly instead of walking
+    the caller's ``yield from`` delegation chain frame by frame.  Used
+    by long-running generated drivers (hundreds of thousands of
+    resumptions) where the per-resume chain walk dominates.
+    """
+
+    __slots__ = ("generator",)
+
+    def __init__(self, generator: Generator["Command", None, None]):
+        self.generator = generator
+
+
+Command = Union[int, Event, "Process", Subrun]
 
 
 class Process:
     """A running generator with a completion event."""
 
-    __slots__ = ("generator", "done", "name")
+    __slots__ = ("generator", "done", "name", "stack")
 
     def __init__(self, generator: Generator[Command, None, None], name: str = ""):
         self.generator = generator
         self.done = Event(f"done:{name}")
         self.name = name
+        #: suspended caller generators while a Subrun command is active
+        self.stack: Optional[list] = None
 
     def __repr__(self) -> str:
         state = "done" if self.done.triggered else "running"
@@ -137,6 +157,12 @@ class Engine:
                     try:
                         command = next(generator)
                     except StopIteration:
+                        stack = process.stack
+                        if stack:
+                            # a Subrun finished: resume its caller in
+                            # the same dispatch slot (yield-from law)
+                            generator = process.generator = stack.pop()
+                            continue
                         self._active -= 1
                         process.done.set(self)
                         break
@@ -154,6 +180,13 @@ class Engine:
                         if len(heap) > self.heap_peak:
                             self.heap_peak = len(heap)
                         break
+                    if type(command) is Subrun:
+                        stack = process.stack
+                        if stack is None:
+                            stack = process.stack = []
+                        stack.append(generator)
+                        generator = process.generator = command.generator
+                        continue  # first step of the sub-generator
                     if isinstance(command, Event):
                         if command.triggered:
                             push(heap, (self.now, seq_next(), process))

@@ -49,8 +49,11 @@ from ..profiling.attribution import (
 from ..profiling.config import EventKind, ProfilingConfig, ThreadState
 from ..profiling.recorder import ProfilingRecorder, RunTrace
 from .config import SimConfig
-from .engine import Engine, Event
-from .fastpath import ChunkAttr, LoopPlan, build_plan, run_fast_chunk
+from .engine import Engine, Subrun, Event
+from .fastpath import (
+    ChunkAttr, LoopPlan, NestPlan, build_nest_plan, build_plan, prepare_nest,
+    run_fast_chunk,
+)
 from .interp import (
     CompiledSegment, KernelFunctionalContext, ThreadMemView, compile_segment,
 )
@@ -194,6 +197,7 @@ class Simulation:
         self.kernel: Kernel = accelerator.kernel
         self._compiled: dict[int, CompiledSegment] = {}
         self._plans: dict[int, Optional[LoopPlan]] = {}
+        self._nest_plans: dict[int, Optional[NestPlan]] = {}
         self._external_uses = self._compute_external_uses()
 
     # ------------------------------------------------------------------
@@ -238,6 +242,23 @@ class Simulation:
                                                has_group,
                                                self.config.attribution)
         return self._plans[item.uid]
+
+    def _get_nest_plan(self, item: LoopNode) -> Optional[NestPlan]:
+        """Flattenable-nest plan for a sequential loop (None if not one).
+
+        Nests never dispatch with attribution on — the per-chunk
+        ``ChunkAttr`` accounting is not modelled by the generated
+        driver, and the reference plus the per-entry fast path already
+        cover that mode bit-identically.
+        """
+
+        if item.uid < 0 or self.config.attribution:
+            return None
+        if item.uid not in self._nest_plans:
+            self._nest_plans[item.uid] = build_nest_plan(
+                item, self.acc.schedule, self._external_uses, self.config,
+                self._get_compiled)
+        return self._nest_plans[item.uid]
 
     # ------------------------------------------------------------------
     def run(self, args: Mapping[str, Union[np.ndarray, int, float]],
@@ -354,6 +375,9 @@ class Simulation:
         telemetry.add("sim.fastpath.batches", runtime.fp_batches)
         telemetry.add("sim.fastpath.iters_vectorized", runtime.fp_iters)
         telemetry.add("sim.fastpath.fallbacks", runtime.fp_fallbacks)
+        telemetry.add("sim.fastpath.nests_flattened", runtime.nests_flattened)
+        telemetry.add("sim.fastpath.entries_batched", runtime.entries_batched)
+        telemetry.add("sim.fastpath.nest_fallbacks", runtime.nest_fallbacks)
 
     # ------------------------------------------------------------------
     def _bind_args(self, args: Mapping[str, Any], memory: ExternalMemory):
@@ -428,6 +452,10 @@ class _Runtime:
         self.fp_batches = 0
         self.fp_iters = 0
         self.fp_fallbacks = 0
+        #: cross-entry nest batching (sim.fastpath.nests_* telemetry)
+        self.nests_flattened = 0
+        self.entries_batched = 0
+        self.nest_fallbacks = 0
         #: loop uid -> static argument tail for the plan's timing loop
         self.tl_static: dict[int, tuple] = {}
         #: per-thread (read, write) port history lists, hoisted out of
@@ -728,6 +756,23 @@ class _Runtime:
     # ------------------------------------------------------------------
     def run_sequential_loop(self, item: LoopNode, tid: int,
                             ctx: KernelFunctionalContext, acct=None):
+        if acct is None and self.fast_enabled and item.uid >= 0:
+            nplan = self.sim._get_nest_plan(item)
+            if nplan is not None:
+                state = self.loop_states.setdefault(id(nplan.pipe),
+                                                    _LoopState())
+                group = None
+                if nplan.group_id is not None:
+                    group = self.group_states.setdefault(nplan.group_id,
+                                                         _LoopState())
+                gen = prepare_nest(self, nplan, tid, ctx, state, group)
+                if gen is not None:
+                    self.nests_flattened += 1
+                    # Subrun instead of `yield from`: the driver resumes
+                    # ~6x per entry, and the engine steps it directly
+                    # rather than walking this delegation chain
+                    yield Subrun(gen)
+                    return
         op = item.op
         lower = ctx.values[op.operands[0].id]
         upper = ctx.values[op.operands[1].id]

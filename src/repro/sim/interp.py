@@ -381,6 +381,10 @@ class VectorizedSegment:
     inputs: list[int]
     outputs: list[int]
     source: str = ""
+    #: nest mode only — carried vars reset at every entry boundary, in
+    #: the order their per-entry finals are returned (third element of
+    #: the fn result); empty for plain single-entry compilation
+    entry_vars: tuple = ()
 
 
 _F64 = np.float64
@@ -447,11 +451,15 @@ class _VectorCodegen:
     """Generates the batched numpy source for one segment."""
 
     def __init__(self, segment: Segment, external_uses: set[int],
-                 iv_id: int):
+                 iv_id: int, nest: bool = False, entry_inputs=(),
+                 entry_vars=()):
         self.segment = segment
         self.ops = segment.ops
         self.external_uses = external_uses
         self.iv_id = iv_id
+        self.nest = nest
+        self.entry_inputs = frozenset(entry_inputs)
+        self.entry_vars = tuple(entry_vars)
         self.defidx: dict[int, int] = {}
         self.uses: dict[int, list[int]] = {}
         for index, op in enumerate(self.ops):
@@ -460,7 +468,7 @@ class _VectorCodegen:
             for operand in op.operands:
                 self.uses.setdefault(operand.id, []).append(index)
         self.defined: set[int] = {iv_id}
-        self.arrays: set[int] = {iv_id}
+        self.arrays: set[int] = {iv_id} | set(self.entry_inputs)
         self.val_type: dict[int, Any] = {}
         self.inputs: list[int] = []
         self._seen_inputs: set[int] = set()
@@ -698,6 +706,9 @@ class _VectorCodegen:
         return f"({self.ref(a)} * {self.ref(b)})"
 
     def _emit_scan(self, vid: int) -> None:
+        if vid in self.entry_vars:
+            self._emit_entry_scan(vid)
+            return
         info = self.carried[vid]
         rres = info["rres"]
         if isinstance(rres.type, VectorType):
@@ -746,6 +757,54 @@ class _VectorCodegen:
         self.compute.append(
             f"_fin{vid} = {conv}(_np.add.accumulate(_fl{vid})[-1])")
         self.commits.append(f"vars[{vid}] = _fin{vid}")
+
+    def _emit_entry_scan(self, vid: int) -> None:
+        """Segmented accumulator scan: the var resets at entry boundaries.
+
+        The seed array ``_es<vid>`` holds the per-entry reset values
+        (one per entry, captured right after the nest's leading segment
+        ran); the scan folds each entry's ``_T`` trips independently and
+        returns the per-entry finals.  ``np.add.accumulate`` along
+        ``axis=1`` is a strict left fold per row, so every row matches
+        the single-entry scan bit for bit.
+        """
+
+        info = self.carried[vid]
+        rres = info["rres"]
+        if isinstance(rres.type, VectorType):
+            raise VectorizeError("entry-reset vector accumulator")
+        is_float = rres.type.is_float
+        dt = "_np.float64" if is_float else "_np.int64"
+        conv = "float" if is_float else "int"
+        deltas = info["deltas"]
+        m = len(deltas)
+        if m == 1:
+            expr = self._delta_expr(deltas[0])
+            delta = deltas[0]
+            d_arr = self.arr(delta[1]) if delta[0] == "val" else \
+                (self.arr(delta[1]) or self.arr(delta[2]))
+            self.compute.append(
+                f"_fl{vid} = _np.empty((_E, _T + 1), dtype={dt})")
+            self.compute.append(f"_fl{vid}[:, 0] = _es{vid}")
+            if d_arr:
+                self.compute.append(
+                    f"_fl{vid}[:, 1:] = ({expr}).reshape(_E, _T)")
+            else:
+                self.compute.append(f"_fl{vid}[:, 1:] = {expr}")
+        else:
+            self.compute.append(
+                f"_dl{vid} = _np.empty((_n, {m}), dtype={dt})")
+            for pos, delta in enumerate(deltas):
+                self.compute.append(
+                    f"_dl{vid}[:, {pos}] = {self._delta_expr(delta)}")
+            self.compute.append(
+                f"_fl{vid} = _np.empty((_E, _T * {m} + 1), dtype={dt})")
+            self.compute.append(f"_fl{vid}[:, 0] = _es{vid}")
+            self.compute.append(
+                f"_fl{vid}[:, 1:] = _dl{vid}.reshape(_E, _T * {m})")
+        self.compute.append(
+            f"_fn{vid} = _np.add.accumulate(_fl{vid}, axis=1)[:, -1]")
+        self.commits.append(f"vars[{vid}] = {conv}(_fn{vid}[-1])")
 
     # -- memory --------------------------------------------------------
     def _base_key(self, base):
@@ -1089,9 +1148,14 @@ class _VectorCodegen:
     # -- driver --------------------------------------------------------
     def generate(self) -> tuple[str, list[int], list[int]]:
         self._classify_vars()
+        for vid in self.entry_vars:
+            if self.var_kind.get(vid) != "carried":
+                raise VectorizeError("entry-reset var is not carried")
         for vid, kind in list(self.var_kind.items()):
             if kind == "carried":
                 self._analyze_carried(vid)
+        if self.entry_vars:
+            self.compute.append("_T = _n // _E")
         self.compute.append(f"v{self.iv_id} = _ivs")
         for index, op in enumerate(self.ops):
             if index in self.consumed:
@@ -1125,24 +1189,46 @@ class _VectorCodegen:
         args = "".join(f", v{vid}" for vid in self.inputs)
         lines = (self.compute + self.checks + self.commits) or ["pass"]
         body = "\n    ".join(lines)
-        source = (f"def _vsegment(ctx, vars, mem, _ivs, _n{args}):\n"
+        nmem = len(self.segment.mem_ops)
+        ret = (f"return ({outs}{',' if len(outputs) == 1 else ''}), "
+               f"({idxs}{',' if nmem == 1 else ''})")
+        if self.nest:
+            seeds = "".join(f", _es{vid}" for vid in self.entry_vars)
+            fins = ", ".join(f"_fn{vid}" for vid in self.entry_vars)
+            ret += (f", ({fins}{',' if len(self.entry_vars) == 1 else ''})")
+            head = f"def _vsegment(ctx, vars, mem, _ivs, _n, _E{args}{seeds}):"
+        else:
+            head = f"def _vsegment(ctx, vars, mem, _ivs, _n{args}):"
+        source = (f"{head}\n"
                   f"    _bufs = mem.buffers\n"
                   f"    {body}\n"
-                  f"    return ({outs}{',' if len(outputs) == 1 else ''}), "
-                  f"({idxs}{',' if len(self.segment.mem_ops) == 1 else ''})\n")
+                  f"    {ret}\n")
         return source, self.inputs, outputs
 
 
 def compile_segment_vectorized(segment: Segment, external_uses: set[int],
-                               iv_id: int) -> VectorizedSegment:
+                               iv_id: int, nest: bool = False,
+                               entry_inputs=(),
+                               entry_vars=()) -> VectorizedSegment:
     """Compile ``segment`` to the trip-batched numpy form.
 
     Raises :class:`VectorizeError` when the segment's shape is not
     supported; the caller then keeps the scalar interpreter for the
     whole loop.
+
+    With ``nest=True`` the generated function evaluates a flattened
+    loop *nest*: ``fn(ctx, vars, mem, ivs, n, e, *inputs, *seeds)``
+    runs ``e`` entries of ``n // e`` trips each.  ``entry_inputs`` are
+    value ids whose per-trip values vary across entries (the caller
+    passes length-``n`` arrays for those inputs); ``entry_vars`` are
+    carried vars reset at every entry boundary, seeded from the
+    matching per-entry ``seeds`` array.  The return value grows a third
+    tuple with each entry var's per-entry final values.
     """
 
-    codegen = _VectorCodegen(segment, external_uses, iv_id)
+    codegen = _VectorCodegen(segment, external_uses, iv_id, nest=nest,
+                             entry_inputs=entry_inputs,
+                             entry_vars=entry_vars)
     source, inputs, outputs = codegen.generate()
     namespace: dict[str, Any] = {
         "_np": np, "_vinsert": _vinsert, "_chk_store": _chk_store,
@@ -1151,7 +1237,8 @@ def compile_segment_vectorized(segment: Segment, external_uses: set[int],
     }
     exec(compile(source, f"<vsegment:{segment.uid}>", "exec"), namespace)
     return VectorizedSegment(segment, namespace["_vsegment"], inputs,
-                             outputs, source)
+                             outputs, source,
+                             entry_vars=tuple(entry_vars))
 
 
 @dataclass

@@ -54,8 +54,12 @@ class ExternalMemory:
         self.buffers: dict[str, Buffer] = {}
         self._next_base = 0x1000_0000
         self._bus_busy = [0] * config.channels
-        #: (channel, bank) -> (open row id, bank ready time)
-        self._banks: dict[tuple[int, int], tuple[int, int]] = {}
+        #: open row id / ready time per bank, flat-indexed
+        #: ``channel * banks_per_channel + bank`` (rows are never
+        #: negative, so -1 means "no row open")
+        nbanks = config.channels * config.banks_per_channel
+        self._bank_row = [-1] * nbanks
+        self._bank_ready = [0] * nbanks
         #: aggregate statistics
         self.bytes_read = 0
         self.bytes_written = 0
@@ -105,18 +109,18 @@ class ExternalMemory:
         row = addr // (cfg.row_bytes * cfg.banks_per_channel * cfg.channels)
 
         transfer = cfg.request_overhead + max(1, -(-nbytes // cfg.width_bytes))
-        key = (channel, bank)
-        open_row, bank_ready = self._banks.get(key, (-1, 0))
-        start = max(at, bank_ready)
+        bi = channel * cfg.banks_per_channel + bank
+        start = max(at, self._bank_ready[bi])
         penalty = 0
-        if open_row != row:
+        if self._bank_row[bi] != row:
             penalty = cfg.row_miss_penalty
             start += penalty  # activate: occupies the bank only
             self.row_misses += 1
         start = max(start, self._bus_busy[channel])
         self.arbitration_wait_cycles += start - at - penalty
         self._bus_busy[channel] = start + transfer
-        self._banks[key] = (row, start + transfer)
+        self._bank_row[bi] = row
+        self._bank_ready[bi] = start + transfer
         self.requests += 1
         if is_write:
             self.bytes_written += nbytes
