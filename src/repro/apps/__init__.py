@@ -5,11 +5,13 @@ from .gemm import (
     gemm_defines, gemm_source,
 )
 from .pi import PI_SOURCE, pi_defines, pi_flops_per_iteration
-from .runners import GemmRun, PiRun, run_gemm, run_pi
+from .runners import (
+    GemmRun, PiRun, compile_gemm, compile_pi, run_gemm, run_pi,
+)
 
 __all__ = [
     "BLOCKED", "DOUBLE_BUFFERED", "GEMM_VERSIONS", "NAIVE", "NO_CRITICAL",
     "VECTORIZED", "gemm_defines", "gemm_source",
     "PI_SOURCE", "pi_defines", "pi_flops_per_iteration",
-    "GemmRun", "PiRun", "run_gemm", "run_pi",
+    "GemmRun", "PiRun", "compile_gemm", "compile_pi", "run_gemm", "run_pi",
 ]

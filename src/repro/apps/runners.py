@@ -20,7 +20,39 @@ from ..sim.executor import SimResult
 from .gemm import EXTRA_VERSIONS, GEMM_VERSIONS, gemm_defines, gemm_source
 from .pi import PI_SOURCE, pi_defines, pi_flops_per_iteration
 
-__all__ = ["GemmRun", "PiRun", "run_gemm", "run_pi"]
+__all__ = ["GemmRun", "PiRun", "compile_gemm", "compile_pi", "run_gemm",
+           "run_pi"]
+
+
+def compile_gemm(version: str, num_threads: int = 8, vector_len: int = 4,
+                 block_size: int = 8, options: Optional[HLSOptions] = None,
+                 compile_cache: Optional[CompileCache] = None) -> Accelerator:
+    """Compile one GEMM version without simulating it.
+
+    Builds the exact same :class:`~repro.core.program.Program` as
+    :func:`run_gemm` (DIM is a runtime argument, so the compile does not
+    depend on it), which means the compile-cache key is identical: an
+    accelerator compiled here for analytic scoring is a guaranteed cache
+    hit when the same configuration is later simulated for real.
+    """
+
+    defines = gemm_defines(version, num_threads=num_threads,
+                           vector_len=vector_len, block_size=block_size)
+    program = Program(gemm_source(version), defines=defines,
+                      options=options, compile_cache=compile_cache)
+    return program.accelerator
+
+
+def compile_pi(num_threads: int = 8, bs_compute: int = 8,
+               options: Optional[HLSOptions] = None,
+               compile_cache: Optional[CompileCache] = None) -> Accelerator:
+    """Compile the π kernel without simulating it (cache-key-identical
+    to :func:`run_pi` for the same thread count and blocking factor)."""
+
+    program = Program(PI_SOURCE, defines=pi_defines(bs_compute),
+                      const_env={"threads": num_threads},
+                      options=options, compile_cache=compile_cache)
+    return program.accelerator
 
 
 @dataclass

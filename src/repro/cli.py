@@ -28,6 +28,14 @@ Mirrors how a user of the paper's flow would drive it:
   renders live progress (done/running/failed, cache hit rate, ETA)
   and ``--events-out`` streams ``repro.events/1`` JSONL records
   (job lifecycle + worker heartbeats);
+* ``explore`` — design-space exploration: enumerate candidate
+  configurations (GEMM version × dim × threads × exposed knobs, or π
+  steps × threads × blocking), score each with the analytic
+  performance/area model, prune dominated and over-budget points,
+  evaluate the survivors through the sweep machinery and print the
+  measured Pareto frontier (cycles vs ALMs / registers) plus the
+  optimization journey; ``--out`` writes ``repro.explore/1`` JSON and
+  ``--html`` a self-contained Pareto report;
 * ``timeline`` — merge the per-job telemetry snapshots embedded in a
   sweep result into one Chrome-trace/Perfetto file, one process track
   per worker and one thread lane per job, plus a per-job breakdown
@@ -226,6 +234,83 @@ def build_parser() -> argparse.ArgumentParser:
                          help="worker heartbeat interval for --events-out "
                               "(default: 1.0)")
     add_telemetry_args(p_sweep)
+
+    p_explore = sub.add_parser(
+        "explore", help="design-space exploration: enumerate candidate "
+                        "configurations, prune with the analytic "
+                        "performance/area model, evaluate survivors for "
+                        "real, and report the Pareto frontier")
+    p_explore.add_argument("--app", choices=["gemm", "pi"], default="gemm",
+                           help="which application's space to explore "
+                                "(default: gemm)")
+    p_explore.add_argument("--dim", type=int, action="append", default=None,
+                           metavar="D",
+                           help="gemm matrix dimension (repeatable; "
+                                "default: 64)")
+    p_explore.add_argument("--threads", type=int, action="append",
+                           default=None, metavar="T",
+                           help="hardware thread counts (repeatable; "
+                                "default: 8)")
+    p_explore.add_argument("--steps", type=int, action="append", default=None,
+                           metavar="N",
+                           help="pi iteration counts (repeatable; default: "
+                                "the scaled paper sweep)")
+    p_explore.add_argument("--versions", default=None, metavar="CSV",
+                           help="comma-separated gemm versions (default: "
+                                "all seven)")
+    p_explore.add_argument("--vector-len", type=int, action="append",
+                           default=None, metavar="VL",
+                           help="vector lengths to enumerate where exposed "
+                                "(repeatable; default: 2,4)")
+    p_explore.add_argument("--block-size", type=int, action="append",
+                           default=None, metavar="BS",
+                           help="tile sizes to enumerate where exposed "
+                                "(repeatable; default: 4,8)")
+    p_explore.add_argument("--bs-compute", type=int, action="append",
+                           default=None, metavar="BS",
+                           help="pi blocking factors (repeatable; "
+                                "default: 4,8)")
+    p_explore.add_argument("--max-evals", type=int, default=None, metavar="N",
+                           help="simulate at most N survivors (predicted-"
+                                "fastest kept)")
+    p_explore.add_argument("--max-alms", type=int, default=None,
+                           help="prune candidates predicted over this ALM "
+                                "budget")
+    p_explore.add_argument("--max-registers", type=int, default=None,
+                           help="prune candidates predicted over this "
+                                "register budget")
+    p_explore.add_argument("--no-prune", action="store_true",
+                           help="disable dominance pruning (budgets still "
+                                "apply); measures the whole space and "
+                                "reports model error per candidate")
+    p_explore.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes for the evaluation sweep")
+    p_explore.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS", help="per-job wall-clock "
+                           "limit for the evaluation sweep")
+    p_explore.add_argument("--no-cache", action="store_true",
+                           help="bypass the compile cache entirely")
+    p_explore.add_argument("--cache-dir", metavar="DIR", default=None,
+                           help="compile cache directory (shared between "
+                                "the analytic stage and the sweep)")
+    p_explore.add_argument("--report-dir", metavar="DIR", default=None,
+                           help="write each evaluated job's trace report "
+                                "JSON into DIR (linked from --html)")
+    p_explore.add_argument("--out", metavar="PATH", default=None,
+                           help="write the full result as JSON (schema "
+                                "repro.explore/1)")
+    p_explore.add_argument("--html", metavar="PATH", default=None,
+                           help="write the self-contained HTML Pareto "
+                                "report")
+    p_explore.add_argument("--progress", action="store_true",
+                           help="render live sweep progress on stderr")
+    p_explore.add_argument("--events-out", metavar="PATH", default=None,
+                           help="stream repro.events/1 JSONL records for "
+                                "the evaluation sweep")
+    p_explore.add_argument("--heartbeat", type=float, default=1.0,
+                           metavar="SECONDS",
+                           help="worker heartbeat interval (default: 1.0)")
+    add_telemetry_args(p_explore)
 
     p_timeline = sub.add_parser(
         "timeline", help="merge a sweep result's per-job telemetry into "
@@ -533,6 +618,132 @@ def _sweep_command(args: argparse.Namespace) -> int:
     return 0 if not result.failed else 1
 
 
+def _explore_command(args: argparse.Namespace) -> int:
+    import os
+
+    from .explore import (
+        Budget, explore, gemm_space, pi_space, write_explore_html,
+    )
+    from .sweep import TTYProgress
+
+    try:
+        if args.app == "gemm":
+            space = gemm_space(
+                dims=tuple(args.dim or (64,)),
+                threads=tuple(args.threads or (8,)),
+                versions=[v.strip() for v in args.versions.split(",")]
+                if args.versions else None,
+                vector_lens=tuple(args.vector_len or (2, 4)),
+                block_sizes=tuple(args.block_size or (4, 8)))
+        else:
+            kwargs = {"threads": tuple(args.threads or (8,)),
+                      "bs_compute": tuple(args.bs_compute or (4, 8))}
+            if args.steps:
+                kwargs["steps"] = tuple(args.steps)
+            space = pi_space(**kwargs)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
+    if not len(space):
+        raise SystemExit("explore space is empty — every enumerated "
+                         "combination was filtered out (check divisibility "
+                         "constraints: dim % threads, dim % block size, "
+                         "steps % (threads * bs))")
+
+    budget = None
+    if args.max_evals is not None or args.max_alms is not None \
+            or args.max_registers is not None:
+        budget = Budget(max_evals=args.max_evals, max_alms=args.max_alms,
+                        max_registers=args.max_registers)
+
+    print(f"design space '{space.name}': {len(space)} candidates "
+          f"({args.app})")
+    progress = TTYProgress() if args.progress else None
+    result = explore(space, budget=budget, dominance=not args.no_prune,
+                     jobs=args.jobs, use_cache=not args.no_cache,
+                     cache_dir=args.cache_dir, timeout=args.timeout,
+                     report_dir=args.report_dir, progress=progress,
+                     events_out=args.events_out,
+                     heartbeat_s=args.heartbeat, capture_telemetry=True)
+
+    pruned = len(result.pruned)
+    print(f"analytic model scored {len(result.outcomes)} candidates in "
+          f"{result.model_wall_s:.2f}s; pruning eliminated {pruned} "
+          f"({100.0 * result.pruned_fraction:.0f}%) before simulation")
+
+    header = (f"{'candidate':34s} {'status':18s} {'predicted':>10s} "
+              f"{'measured':>10s} {'Δ':>5s} {'ALMs':>7s} {'regs':>7s}  "
+              "bound")
+    print()
+    print(header)
+    print("-" * len(header))
+    for outcome in sorted(result.outcomes, key=lambda o: o.cycles):
+        prediction = outcome.prediction
+        measured = outcome.measured_cycles
+        if outcome.pruned is not None:
+            status = f"pruned: {outcome.pruned.reason}"
+        elif outcome.result is None:
+            status = "not evaluated"
+        elif outcome.result.status != "ok":
+            status = outcome.result.status
+        elif outcome.on_frontier:
+            status = "frontier"
+        else:
+            status = "measured"
+        delta = "-"
+        if measured is not None and prediction.cycles:
+            delta = f"{100.0 * (prediction.cycles - measured) / measured:+.0f}%"
+        print(f"{outcome.id:34s} {status:18s} {prediction.cycles:>10d} "
+              f"{measured if measured is not None else '-':>10} "
+              f"{delta:>5s} {prediction.alms:>7d} {prediction.registers:>7d}"
+              f"  {prediction.bound}")
+        if outcome.result is not None and outcome.result.status != "ok" \
+                and outcome.result.error:
+            print(f"  ! {outcome.result.error}")
+
+    for axis, unit in (("alms", "ALMs"), ("registers", "registers")):
+        front = result.frontier(axis)
+        if front:
+            points = ", ".join(
+                f"{o.id} ({o.cycles} cyc, "
+                f"{getattr(o.prediction, axis)} {unit})" for o in front)
+            print(f"\nPareto frontier (cycles vs {unit}): {points}")
+
+    journey = result.journey()
+    if journey:
+        print("\noptimization journey (slowest to fastest):")
+        slowest = journey[0]["cycles"] or 1
+        for row in journey:
+            note = "measured" if row["source"] == "measured" \
+                else f"predicted, pruned: {row['pruned']}"
+            print(f"  {row['group']:16s} {row['id']:34s} "
+                  f"{row['cycles']:>10d}  {slowest / row['cycles']:5.2f}x"
+                  f"  ({note})")
+
+    failed = [o for o in result.evaluated
+              if o.result is not None and o.result.status != "ok"]
+    print(f"\n{len(result.outcomes)} candidates: {pruned} pruned, "
+          f"{len(result.measured)} measured, {len(failed)} failed; "
+          f"model {result.model_wall_s:.2f}s + sweep "
+          f"{result.sweep.wall_s if result.sweep else 0.0:.2f}s = "
+          f"{result.wall_s:.2f}s wall")
+    if args.out:
+        result.to_json(args.out)
+        print(f"results written: {args.out} (repro.explore/1)")
+    if args.html:
+        links = {}
+        base = os.path.dirname(os.path.abspath(args.html))
+        for outcome in result.evaluated:
+            job = outcome.result
+            if job is not None and job.report_path:
+                links[outcome.id] = os.path.relpath(
+                    os.path.abspath(job.report_path), base)
+        write_explore_html(result, args.html, report_links=links or None)
+        print(f"HTML report written: {args.html}")
+    if args.events_out:
+        print(f"event log written: {args.events_out} (repro.events/1)")
+    return 0 if not failed else 1
+
+
 def _timeline_command(args: argparse.Namespace) -> int:
     import json as _json
     import os
@@ -683,6 +894,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "sweep":
         return _sweep_command(args)
+
+    if args.command == "explore":
+        return _explore_command(args)
 
     if args.command == "timeline":
         return _timeline_command(args)

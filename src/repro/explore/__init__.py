@@ -1,0 +1,32 @@
+"""Analytically-pruned design-space exploration (CDSE-style).
+
+``explore(space, budget=...)`` closes the loop the paper performs by
+hand: enumerate candidate configurations (:func:`gemm_space` /
+:func:`pi_space`), score each with a cheap analytic model (a
+memory-bound roofline over the DRAM geometry plus the calibrated
+§V-B area model — see :mod:`repro.explore.model`), prune dominated
+and over-budget points, evaluate the survivors for real through
+:func:`repro.sweep.run_sweep`, and extract the measured Pareto
+frontiers of cycles vs ALMs and cycles vs registers.  Results
+serialize as ``repro.explore/1`` JSON and render as a self-contained
+HTML Pareto report.  See DESIGN.md §12 and ``repro explore --help``.
+"""
+
+from .model import Prediction, ScheduleFacts, extract_facts, predict
+from .pareto import Budget, PruneDecision, pareto_front, prune_candidates
+from .report import render_explore_html, write_explore_html
+from .runner import CandidateOutcome, ExploreResult, explore
+from .serialize import (
+    EXPLORE_SCHEMA, explore_to_dict, explore_to_json, validate_explore_dict,
+    validate_explore_file,
+)
+from .space import Candidate, ExploreSpace, GEMM_KNOBS, gemm_space, pi_space
+
+__all__ = [
+    "Budget", "Candidate", "CandidateOutcome", "EXPLORE_SCHEMA",
+    "ExploreResult", "ExploreSpace", "GEMM_KNOBS", "Prediction",
+    "PruneDecision", "ScheduleFacts", "explore", "explore_to_dict",
+    "explore_to_json", "extract_facts", "gemm_space", "pareto_front",
+    "pi_space", "predict", "prune_candidates", "render_explore_html",
+    "validate_explore_dict", "validate_explore_file", "write_explore_html",
+]

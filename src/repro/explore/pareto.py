@@ -1,0 +1,126 @@
+"""Dominance pruning and Pareto-frontier extraction.
+
+Pruning runs on *predicted* points (cycles, ALMs, registers): a
+candidate is dropped when another candidate is at least as good on all
+three axes and strictly better on one (weak Pareto dominance), when it
+exceeds an explicit resource budget, or when it falls outside the
+evaluation budget (``max_evals`` keeps the predicted-fastest
+survivors).  Every decision carries its reason and, for dominance, the
+dominating candidate's id — the CLI logs the pruned fraction before
+any simulation runs.
+
+Frontier extraction runs on *measured* points after the sweep: the
+2-D minimization frontiers of cycles-vs-ALMs and cycles-vs-registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .model import Prediction
+from .space import Candidate
+
+__all__ = ["Budget", "PruneDecision", "pareto_front", "prune_candidates"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Hard limits applied before (and instead of) real evaluation."""
+
+    max_evals: Optional[int] = None      # simulate at most this many
+    max_alms: Optional[int] = None       # resource caps on candidates
+    max_registers: Optional[int] = None
+
+    def to_dict(self) -> dict:
+        return {"max_evals": self.max_evals, "max_alms": self.max_alms,
+                "max_registers": self.max_registers}
+
+
+@dataclass(frozen=True)
+class PruneDecision:
+    """Why one candidate was excluded from real evaluation."""
+
+    reason: str              # "dominated" | "over_budget" | "eval_budget"
+    detail: str
+    dominated_by: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {"reason": self.reason, "detail": self.detail,
+                "dominated_by": self.dominated_by}
+
+
+def _dominates(a: Prediction, b: Prediction) -> bool:
+    """Weak Pareto dominance of ``a`` over ``b`` on predicted axes."""
+
+    if a.cycles > b.cycles or a.alms > b.alms or a.registers > b.registers:
+        return False
+    return (a.cycles < b.cycles or a.alms < b.alms
+            or a.registers < b.registers)
+
+
+def prune_candidates(scored: Sequence[tuple[Candidate, Prediction]],
+                     budget: Optional[Budget] = None,
+                     dominance: bool = True) -> dict[str, PruneDecision]:
+    """Decide which candidates to skip; returns ``id -> decision``."""
+
+    budget = budget or Budget()
+    decisions: dict[str, PruneDecision] = {}
+
+    for candidate, prediction in scored:
+        if budget.max_alms is not None and prediction.alms > budget.max_alms:
+            decisions[candidate.id] = PruneDecision(
+                "over_budget",
+                f"predicted {prediction.alms} ALMs > budget "
+                f"{budget.max_alms}")
+        elif budget.max_registers is not None \
+                and prediction.registers > budget.max_registers:
+            decisions[candidate.id] = PruneDecision(
+                "over_budget",
+                f"predicted {prediction.registers} registers > budget "
+                f"{budget.max_registers}")
+
+    if dominance:
+        alive = [(c, p) for c, p in scored if c.id not in decisions]
+        for candidate, prediction in alive:
+            for other, other_pred in alive:
+                if other.id == candidate.id:
+                    continue
+                if _dominates(other_pred, prediction):
+                    decisions[candidate.id] = PruneDecision(
+                        "dominated",
+                        f"predicted ({prediction.cycles} cycles, "
+                        f"{prediction.alms} ALMs, {prediction.registers} "
+                        f"regs) dominated by {other.id}",
+                        dominated_by=other.id)
+                    break
+
+    if budget.max_evals is not None:
+        survivors = [(c, p) for c, p in scored if c.id not in decisions]
+        if len(survivors) > budget.max_evals:
+            survivors.sort(key=lambda cp: (cp[1].cycles, cp[1].alms,
+                                           cp[0].id))
+            for candidate, prediction in survivors[budget.max_evals:]:
+                decisions[candidate.id] = PruneDecision(
+                    "eval_budget",
+                    f"outside the {budget.max_evals}-evaluation budget "
+                    f"(predicted {prediction.cycles} cycles)")
+
+    return decisions
+
+
+def pareto_front(points: Sequence[tuple[float, float, str]]) -> list[str]:
+    """Ids on the 2-D minimization frontier of ``(x, y, id)`` points.
+
+    A point is on the frontier when no other point is <= on both axes
+    and < on at least one.  Returned in ascending-x order.
+    """
+
+    frontier: list[str] = []
+    ordered = sorted(points, key=lambda p: (p[0], p[1]))
+    best_y = float("inf")
+    for x, y, point_id in ordered:
+        if y < best_y:
+            frontier.append(point_id)
+            best_y = y
+    return frontier

@@ -1,0 +1,213 @@
+"""Self-contained HTML Pareto report for one exploration.
+
+Rides on the ``repro.report`` page chrome (same stylesheet, same
+guarantees: one file, zero scripts, zero network fetches).  Two
+scatter panels — measured cycles vs ALMs and vs registers — with the
+Pareto frontier drawn as a step line and frontier members filled;
+pruned candidates appear as hollow points at their *predicted* cycles
+so the reader sees what the analytic model skipped and why.  The
+candidate table links each evaluated point to its per-job breakdown
+(``{job_id}.report.json`` from the sweep's ``report_dir``) when one
+was written.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..report.html import _esc, _fmt, _nice_ceiling, render_page
+from .runner import CandidateOutcome, ExploreResult
+
+__all__ = ["render_explore_html", "write_explore_html"]
+
+_PLOT_W, _PLOT_H = 560, 300
+_ML, _MR, _MT, _MB = 70, 16, 14, 40
+
+
+def render_explore_html(result: ExploreResult, title: Optional[str] = None,
+                        report_links: Optional[dict[str, str]] = None) -> str:
+    title = title or f"Design-space exploration: {result.space.name}"
+    links = report_links or {}
+    enumerated = len(result.outcomes)
+    pruned = len(result.pruned)
+    body = [
+        f"<h1>{_esc(title)}</h1>",
+        f'<p class="meta">repro design-space exploration · '
+        f"{enumerated} candidates enumerated · {pruned} pruned "
+        f"analytically ({100.0 * result.pruned_fraction:.0f}%) · "
+        f"{len(result.measured)} measured · no external resources</p>",
+        _tiles(result),
+    ]
+    for axis, label in (("alms", "ALMs"), ("registers", "registers")):
+        body.append(f"<h2>Measured cycles vs {_esc(label)}</h2>")
+        body.append(_scatter(result, axis, label))
+    body.append("<h2>Optimization journey</h2>")
+    body.append(_journey_table(result))
+    body.append("<h2>All candidates</h2>")
+    body.append(_candidate_table(result, links))
+    return render_page(title, "".join(body))
+
+
+def write_explore_html(result: ExploreResult, path: str,
+                       title: Optional[str] = None,
+                       report_links: Optional[dict[str, str]] = None) -> None:
+    with open(path, "w") as out:
+        out.write(render_explore_html(result, title=title,
+                                      report_links=report_links))
+
+
+def _tiles(result: ExploreResult) -> str:
+    front = result.frontier("alms")
+    best = min((o for o in result.measured), key=lambda o: o.cycles,
+               default=None)
+    tiles = [
+        ("candidates", str(len(result.outcomes))),
+        ("pruned", f"{len(result.pruned)} "
+                   f"({100.0 * result.pruned_fraction:.0f}%)"),
+        ("frontier (ALMs)", str(len(front))),
+        ("explore wall", f"{result.wall_s:.1f}s"),
+    ]
+    if best is not None:
+        tiles.insert(2, ("best measured", f"{_fmt(best.cycles)} cyc"))
+    cells = "".join(
+        f'<div class="tile"><div class="v">{_esc(value)}</div>'
+        f'<div class="k">{_esc(key)}</div></div>'
+        for key, value in tiles)
+    return f'<div class="tiles">{cells}</div>'
+
+
+def _scatter(result: ExploreResult, axis: str, label: str) -> str:
+    measured = [o for o in result.outcomes if o.measured_cycles is not None]
+    pruned = [o for o in result.outcomes if o.pruned is not None]
+    if not measured and not pruned:
+        return '<p class="legend">(no candidates)</p>'
+
+    def area_of(outcome: CandidateOutcome) -> float:
+        return float(getattr(outcome.prediction, axis))
+
+    xs = [float(o.cycles) for o in measured + pruned]
+    ys = [area_of(o) for o in measured + pruned]
+    x_max = _nice_ceiling(max(xs) * 1.05)
+    y_max = _nice_ceiling(max(ys) * 1.05)
+    inner_w = _PLOT_W - _ML - _MR
+    inner_h = _PLOT_H - _MT - _MB
+
+    def px(x: float) -> float:
+        return _ML + inner_w * x / x_max
+
+    def py(y: float) -> float:
+        return _MT + inner_h * (1.0 - y / y_max)
+
+    parts = [f'<svg width="{_PLOT_W}" height="{_PLOT_H}" role="img" '
+             f'aria-label="measured cycles vs {_esc(label)}">']
+    # axes + gridlines
+    for tick in range(5):
+        gy = _MT + inner_h * tick / 4
+        value = y_max * (1 - tick / 4)
+        parts.append(f'<line x1="{_ML}" y1="{gy:.1f}" '
+                     f'x2="{_PLOT_W - _MR}" y2="{gy:.1f}" '
+                     'stroke="var(--grid)" stroke-width="1"/>')
+        parts.append(f'<text x="{_ML - 6}" y="{gy + 4:.1f}" '
+                     f'text-anchor="end">{_fmt(value)}</text>')
+        gx = _ML + inner_w * tick / 4
+        parts.append(f'<text x="{gx:.1f}" y="{_PLOT_H - _MB + 16}" '
+                     f'text-anchor="middle">{_fmt(x_max * tick / 4)}</text>')
+    parts.append(f'<text x="{_ML + inner_w / 2:.1f}" y="{_PLOT_H - 6}" '
+                 'text-anchor="middle">measured cycles (pruned: '
+                 'predicted)</text>')
+    parts.append(f'<text x="14" y="{_MT + inner_h / 2:.1f}" '
+                 f'text-anchor="middle" transform="rotate(-90 14 '
+                 f'{_MT + inner_h / 2:.1f})">{_esc(label)}</text>')
+
+    # frontier step line (ascending cycles, descending area)
+    front = result.frontier(axis)
+    if len(front) > 1:
+        points = " ".join(f"{px(o.cycles):.1f},{py(area_of(o)):.1f}"
+                          for o in front)
+        parts.append(f'<polyline points="{points}" fill="none" '
+                     'stroke="var(--series-1)" stroke-width="1.5" '
+                     'stroke-dasharray="4 3"/>')
+
+    flag = "frontier_" + axis
+    for outcome in pruned:
+        parts.append(
+            f'<circle cx="{px(outcome.cycles):.1f}" '
+            f'cy="{py(area_of(outcome)):.1f}" r="4" fill="none" '
+            'stroke="var(--text-secondary)" stroke-width="1.2">'
+            f"<title>{_esc(outcome.id)} (pruned: "
+            f"{_esc(outcome.pruned.reason)}) — predicted "
+            f"{_fmt(outcome.cycles)} cycles, {_fmt(area_of(outcome))} "
+            f"{_esc(label)}</title></circle>")
+    for outcome in measured:
+        on_front = getattr(outcome, flag)
+        fill = "var(--series-1)" if on_front else "var(--series-2)"
+        radius = 5 if on_front else 4
+        parts.append(
+            f'<circle cx="{px(outcome.cycles):.1f}" '
+            f'cy="{py(area_of(outcome)):.1f}" r="{radius}" fill="{fill}">'
+            f"<title>{_esc(outcome.id)} — {_fmt(outcome.cycles)} cycles, "
+            f"{_fmt(area_of(outcome))} {_esc(label)}"
+            f'{" (frontier)" if on_front else ""}</title></circle>')
+    parts.append("</svg>")
+    parts.append('<p class="legend">filled blue = Pareto frontier · '
+                 'filled orange = measured · hollow = pruned by the '
+                 'analytic model (plotted at predicted cycles)</p>')
+    return "".join(parts)
+
+
+def _journey_table(result: ExploreResult) -> str:
+    rows = result.journey()
+    if not rows:
+        return '<p class="legend">(no candidates)</p>'
+    slowest = rows[0]["cycles"] or 1
+    cells = []
+    for row in rows:
+        speedup = slowest / row["cycles"] if row["cycles"] else 0.0
+        note = "measured" if row["source"] == "measured" \
+            else f"predicted (pruned: {row['pruned']})"
+        cells.append(
+            f"<tr><td>{_esc(row['group'])}</td><td>{_esc(row['id'])}</td>"
+            f"<td>{_fmt(row['cycles'])}</td><td>{speedup:.2f}x</td>"
+            f"<td>{_esc(note)}</td></tr>")
+    return ('<table><thead><tr><th>version</th><th>best candidate</th>'
+            "<th>cycles</th><th>speedup</th><th>source</th></tr></thead>"
+            f'<tbody>{"".join(cells)}</tbody></table>')
+
+
+def _candidate_table(result: ExploreResult, links: dict[str, str]) -> str:
+    rows = []
+    ordered = sorted(result.outcomes, key=lambda o: o.cycles)
+    for outcome in ordered:
+        prediction = outcome.prediction
+        measured = outcome.measured_cycles
+        if outcome.pruned is not None:
+            status = f"pruned: {outcome.pruned.reason}"
+        elif outcome.result is None:
+            status = "not evaluated"
+        elif outcome.result.status != "ok":
+            status = outcome.result.status
+        elif outcome.on_frontier:
+            status = "frontier"
+        else:
+            status = "measured"
+        name = _esc(outcome.id)
+        href = links.get(outcome.id)
+        if href:
+            name = f'<a href="{_esc(href)}">{name}</a>'
+        error = ""
+        if measured is not None and prediction.cycles:
+            error = f"{100.0 * (prediction.cycles - measured) / measured:+.0f}%"
+        rows.append(
+            f"<tr><td>{name}</td><td>{_esc(status)}</td>"
+            f"<td>{_fmt(prediction.cycles)}</td>"
+            f"<td>{_fmt(measured) if measured is not None else '—'}</td>"
+            f"<td>{_esc(error) or '—'}</td>"
+            f"<td>{_fmt(prediction.alms)}</td>"
+            f"<td>{_fmt(prediction.registers)}</td>"
+            f"<td>{prediction.fmax_mhz:.1f}</td>"
+            f"<td>{_esc(prediction.bound)}</td></tr>")
+    return ('<table><thead><tr><th>candidate</th><th>status</th>'
+            "<th>predicted</th><th>measured</th><th>model Δ</th>"
+            "<th>ALMs</th><th>registers</th><th>Fmax MHz</th>"
+            "<th>bound</th></tr></thead>"
+            f'<tbody>{"".join(rows)}</tbody></table>')

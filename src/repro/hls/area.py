@@ -79,6 +79,10 @@ class AreaBreakdown:
     def alms(self) -> int:
         return self.operator_alms + self.infra_alms + self.profiling_alms
 
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+        return asdict(self)
+
 
 @dataclass(frozen=True)
 class AreaReport:
@@ -94,6 +98,16 @@ class AreaReport:
     @property
     def alms(self) -> int:
         return self.breakdown.alms
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (used by ``repro.explore`` candidate records)."""
+
+        return {
+            "registers": self.registers,
+            "alms": self.alms,
+            "fmax_mhz": self.fmax_mhz,
+            "breakdown": self.breakdown.to_dict(),
+        }
 
     def overhead_vs(self, baseline: "AreaReport") -> dict[str, float]:
         """Relative overhead of ``self`` against a profiling-free baseline."""

@@ -7,18 +7,20 @@ terminal, to machine-readable JSON, or to a single self-contained HTML
 file with SVG state timelines and throughput panels.  See DESIGN.md §7.
 """
 
-from .html import render_html, write_html
+from .html import render_html, render_page, write_html
 from .model import (
     EfficiencyHierarchy, PlatformPeaks, TraceReport, build_report,
     comparison_rows, report_from_prv,
 )
-from .serialize import report_to_dict, reports_to_json, write_json
+from .serialize import (
+    REPORT_SCHEMA, report_to_dict, reports_to_json, write_json,
+)
 from .text import render_comparison_text, render_report_text
 
 __all__ = [
     "EfficiencyHierarchy", "PlatformPeaks", "TraceReport", "build_report",
     "comparison_rows", "report_from_prv",
-    "render_html", "write_html",
-    "report_to_dict", "reports_to_json", "write_json",
+    "render_html", "render_page", "write_html",
+    "REPORT_SCHEMA", "report_to_dict", "reports_to_json", "write_json",
     "render_comparison_text", "render_report_text",
 ]

@@ -29,7 +29,7 @@ from ..profiling.config import ThreadState
 from ..profiling.recorder import RunTrace
 from .model import TraceReport, comparison_rows
 
-__all__ = ["render_html", "write_html"]
+__all__ = ["render_html", "render_page", "write_html"]
 
 # Paper-palette hues re-stepped for a light surface and validated for
 # CVD separation and >=3:1 surface contrast (green/blue/red trio).
@@ -514,11 +514,24 @@ def render_html(reports: Sequence[TraceReport],
         body.append(_comparison_table(reports))
     for report in reports:
         body.append(_run_section(report))
+    return render_page(title, "".join(body))
+
+
+def render_page(title: str, body_html: str) -> str:
+    """Wrap pre-built body HTML in the report page chrome.
+
+    Shared by the trace reports here and by the ``repro.explore`` Pareto
+    report so every generated page has the same stylesheet and the same
+    guarantees: one file, no scripts, no network fetches.  ``body_html``
+    is trusted markup — escape any interpolated values with
+    ``html.escape`` before building it.
+    """
+
     return ("<!DOCTYPE html>\n"
             '<html lang="en"><head><meta charset="utf-8">\n'
             f"<title>{_esc(title)}</title>\n"
             f"<style>{_CSS}</style></head>\n"
-            f'<body class="viz-root">{"".join(body)}</body></html>\n')
+            f'<body class="viz-root">{body_html}</body></html>\n')
 
 
 def write_html(reports: Sequence[TraceReport], path: str,

@@ -14,9 +14,11 @@ from typing import Sequence
 
 from .model import TraceReport, comparison_rows
 
-__all__ = ["report_to_dict", "reports_to_json", "write_json"]
+__all__ = ["REPORT_SCHEMA", "report_to_dict", "reports_to_json",
+           "write_json"]
 
-_SCHEMA = "repro.report/1"
+REPORT_SCHEMA = "repro.report/1"
+_SCHEMA = REPORT_SCHEMA  # backwards-compatible alias
 
 
 def report_to_dict(report: TraceReport) -> dict:

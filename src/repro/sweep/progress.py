@@ -125,6 +125,7 @@ class TTYProgress(ProgressSink):
         self._misses = 0
         self._running: dict[str, float] = {}  # job id -> start monotonic
         self._durations: list[float] = []
+        self._started_at: Optional[float] = None
         self._last_line_len = 0
 
     # -- callbacks ------------------------------------------------------
@@ -133,6 +134,7 @@ class TTYProgress(ProgressSink):
             self._name = name
             self._total = total_jobs
             self._parallel = max(1, parallel)
+            self._started_at = time.monotonic()
             self._render_locked()
 
     def job_started(self, job_id, index=None, pid=None):
@@ -155,9 +157,13 @@ class TTYProgress(ProgressSink):
                 self._hits += 1
             elif result.compile_cache == "miss":
                 self._misses += 1
-            duration = result.wall_s if result.wall_s else (
+            # wall_s may be 0.0 (cache-hit job finishing within one clock
+            # tick) or None (hand-built results); both must stay out of
+            # the duration average rather than crash or skew the ETA.
+            wall = result.wall_s or 0.0
+            duration = wall if wall > 0.0 else (
                 time.monotonic() - started if started is not None else 0.0)
-            if duration:
+            if duration > 0.0:
                 self._durations.append(duration)
             if self._isatty:
                 self._render_locked()
@@ -167,7 +173,7 @@ class TTYProgress(ProgressSink):
                 self._write_line(
                     f"[{self._ok + self._failed:3d}/{self._total}] "
                     f"{result.job_id:34s} {result.status:8s} "
-                    f"{result.wall_s:6.2f}s  {result.compile_cache}"
+                    f"{wall:6.2f}s  {result.compile_cache}"
                     f"{detail}")
 
     def sweep_finished(self, result):
@@ -179,20 +185,38 @@ class TTYProgress(ProgressSink):
                 f"{totals['jobs'] - totals['ok']} failed "
                 f"({totals['timeout']} timeout, {totals['crashed']} "
                 f"crashed); cache {self._cache_pct()} hit; "
-                f"{result.wall_s:.2f}s wall")
+                f"{result.wall_s or 0.0:.2f}s wall")
 
     # -- rendering ------------------------------------------------------
+    # Every quotient below is guarded: a sweep whose first job finishes
+    # within the same clock tick (zero elapsed), an all-cache-hit sweep
+    # where every wall_s is ~0, and a zero-job sweep are all legal and
+    # must render "n/a" rather than divide by zero — long explore runs
+    # route hundreds of cache-hit jobs through this sink.
     def _cache_pct(self) -> str:
         seen = self._hits + self._misses
-        return f"{100.0 * self._hits / seen:.0f}%" if seen else "n/a"
+        if seen <= 0:
+            return "n/a"
+        return f"{100.0 * self._hits / seen:.0f}%"
+
+    def _rate_s(self) -> Optional[float]:
+        done = self._ok + self._failed
+        if done <= 0 or self._started_at is None:
+            return None
+        elapsed = time.monotonic() - self._started_at
+        if elapsed <= 0.0:
+            return None
+        return done / elapsed
 
     def _eta_s(self) -> Optional[float]:
-        if not self._durations:
+        if not self._durations or self._parallel <= 0:
             return None
         remaining = self._total - self._ok - self._failed
         if remaining <= 0:
             return 0.0
         avg = sum(self._durations) / len(self._durations)
+        if avg <= 0.0:
+            return None
         return avg * remaining / self._parallel
 
     def _render_locked(self) -> None:
@@ -201,10 +225,12 @@ class TTYProgress(ProgressSink):
         done = self._ok + self._failed
         eta = self._eta_s()
         eta_text = f"  eta {eta:.0f}s" if eta is not None else ""
+        rate = self._rate_s()
+        rate_text = f"  {rate:.1f} job/s" if rate is not None else ""
         failed_text = f" failed:{self._failed}" if self._failed else ""
         line = (f"sweep {self._name}: {done}/{self._total} done "
                 f"({len(self._running)} running{failed_text})  "
-                f"cache {self._cache_pct()} hit{eta_text}")
+                f"cache {self._cache_pct()} hit{rate_text}{eta_text}")
         padded = line.ljust(self._last_line_len)
         self._last_line_len = len(line)
         try:

@@ -113,7 +113,7 @@ class SweepResult:
             **by_status,
             "cache_hits": hits,
             "cache_misses": misses,
-            "wall_s": round(self.wall_s, 6),
+            "wall_s": round(self.wall_s or 0.0, 6),
             "parallel_jobs": self.parallel_jobs,
         }
 

@@ -110,6 +110,20 @@ def expand_jobs(jobs: Sequence[JobSpec], repeat: int = 1) -> list[JobSpec]:
     for job in jobs:
         for index in range(repeat):
             out.append(replace(job, repeat_index=index))
+    seen: dict[str, int] = {}
+    duplicates: dict[str, int] = {}
+    for job in out:
+        job_id = job.job_id
+        if job_id in seen:
+            duplicates[job_id] = duplicates.get(job_id, 1) + 1
+        seen[job_id] = seen.get(job_id, 0) + 1
+    if duplicates:
+        listed = ", ".join(f"{job_id!r} x{count}"
+                           for job_id, count in sorted(duplicates.items()))
+        raise ValueError(
+            f"duplicate job ids in sweep: {listed}; results are keyed by "
+            "job id, so jobs sharing a 'label' (or identical spec fields) "
+            "would clobber each other — give each job a distinct label")
     return out
 
 
@@ -139,9 +153,17 @@ def pi_sweep(steps: Sequence[int] = PI_DEFAULT_STEPS, threads: int = 8,
 # ----------------------------------------------------------------------
 # spec files
 # ----------------------------------------------------------------------
+#: every top-level key a sweep spec document may carry
+SPEC_DOC_KEYS = ("jobs", "defaults", "repeat", "name")
+
+
 def parse_spec_dict(doc: dict, name: str = "sweep") -> SweepSpec:
     if not isinstance(doc, dict) or "jobs" not in doc:
         raise ValueError("sweep spec must be an object with a 'jobs' list")
+    unknown = set(doc) - set(SPEC_DOC_KEYS)
+    if unknown:
+        raise ValueError(f"unknown sweep spec fields {sorted(unknown)}; "
+                         f"known: {sorted(SPEC_DOC_KEYS)}")
     raw_jobs = doc["jobs"]
     if not isinstance(raw_jobs, list) or not raw_jobs:
         raise ValueError("sweep spec 'jobs' must be a non-empty list")

@@ -89,6 +89,59 @@ class TestPaperBands:
         assert ov["fmax_delta_mhz"] < 4.0
 
 
+class TestEdgeCases:
+    def test_empty_kernel_body_still_has_infrastructure_area(self):
+        # the parallel region compiles to zero datapath operators, but
+        # the Avalon masters / semaphore / slave interface remain
+        acc = compile_source("""
+        void empty(int n) {
+          #pragma omp target parallel num_threads(4)
+          {
+          }
+        }
+        """, options=HLSOptions())
+        assert acc.area.registers > 0
+        assert acc.area.alms > 0
+        assert 100.0 < acc.area.fmax_mhz < 200.0
+        assert acc.area.breakdown.operator_registers == 0
+
+    def test_profiling_monotone_across_all_versions(self):
+        # profiling on must never *reduce* area or raise Fmax, for every
+        # kernel shape in the study (not just naive)
+        for version in GEMM_VERSIONS:
+            on = compile_gemm(version)
+            off = compile_gemm(version, ProfilingConfig.disabled())
+            assert on.area.registers >= off.area.registers, version
+            assert on.area.alms >= off.area.alms, version
+            assert on.area.fmax_mhz <= off.area.fmax_mhz, version
+
+    def test_vector_lane_scaling_is_nondecreasing(self):
+        # wider vectors replicate operators per lane: area must be
+        # nondecreasing in VECTOR_LEN, strictly increasing somewhere
+        areas = []
+        for vl in (2, 4, 8):
+            options = HLSOptions()
+            acc = compile_source(
+                GEMM_VERSIONS["vectorized"],
+                defines=gemm_defines("vectorized", vector_len=vl,
+                                     block_size=8),
+                options=options)
+            areas.append(acc.area)
+        alms = [a.alms for a in areas]
+        regs = [a.registers for a in areas]
+        assert alms == sorted(alms)
+        assert regs == sorted(regs)
+        assert alms[-1] > alms[0] and regs[-1] > regs[0]
+
+    def test_area_report_serializes(self):
+        doc = compile_gemm("naive").area.to_dict()
+        assert doc["registers"] > 0 and doc["alms"] > 0
+        breakdown = doc["breakdown"]
+        assert breakdown["profiling_registers"] > 0
+        assert sum(v for k, v in breakdown.items()
+                   if k.endswith("_registers")) == doc["registers"]
+
+
 class TestProfilingConfigKnobs:
     def test_fewer_events_less_area(self):
         full = compile_gemm("naive")

@@ -268,6 +268,53 @@ class TestSweep:
         with pytest.raises(SystemExit, match="cannot read sweep spec"):
             main(["sweep", "/nonexistent.json"])
 
+    def test_explore_prunes_measures_and_writes_documents(self, tmp_path,
+                                                          capsys):
+        out = str(tmp_path / "explore.json")
+        html = str(tmp_path / "explore.html")
+        assert main(["explore", "--app", "gemm", "--dim", "16",
+                     "--threads", "4", "--vector-len", "4",
+                     "--block-size", "4",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", out, "--html", html]) == 0
+        text = capsys.readouterr().out
+        assert "7 candidates" in text
+        assert "pruning eliminated" in text
+        assert "0 (0%)" not in text  # the analytic pruner must fire
+        assert "Pareto frontier (cycles vs ALMs)" in text
+        assert "optimization journey" in text
+        from repro.explore import validate_explore_file
+        doc = validate_explore_file(out)
+        assert doc["space"]["pruned"] >= 1
+        assert doc["frontier"]["alms"]
+        page = open(html).read()
+        assert "<script" not in page.lower()
+        assert "<svg" in page
+
+    def test_explore_report_dir_links_relative(self, tmp_path, capsys):
+        html = str(tmp_path / "explore.html")
+        assert main(["explore", "--app", "gemm", "--dim", "16",
+                     "--threads", "4", "--vector-len", "4",
+                     "--block-size", "4", "--no-cache", "--max-evals", "2",
+                     "--report-dir", str(tmp_path / "reports"),
+                     "--html", html]) == 0
+        capsys.readouterr()
+        page = open(html).read()
+        assert 'href="reports/' in page
+        assert str(tmp_path) not in page  # relative, not absolute
+
+    def test_explore_pi_space(self, tmp_path, capsys):
+        assert main(["explore", "--app", "pi", "--steps", "6400",
+                     "--threads", "4", "--bs-compute", "8",
+                     "--no-cache"]) == 0
+        text = capsys.readouterr().out
+        assert "pi-6400-t4-bs8" in text
+
+    def test_explore_empty_space_clean_error(self):
+        with pytest.raises(SystemExit, match="explore space is empty"):
+            main(["explore", "--app", "gemm", "--dim", "20",
+                  "--threads", "3"])
+
     def test_progress_events_and_timeline(self, tmp_path, capsys):
         import json
         import os

@@ -367,6 +367,52 @@ class TestSweepProgress:
         assert lines[0].startswith("[  1/2]")
         assert lines[-1].startswith("sweep ")
 
+    def test_zero_duration_jobs_do_not_divide_by_zero(self):
+        """All-cache-hit sweeps finish jobs with wall_s == 0.0; the
+        rate/ETA/cache arithmetic must render, not crash or skew."""
+
+        from repro.sweep.results import JobResult, SweepResult
+
+        sink = TTYProgress(stream=io.StringIO())
+        sink._isatty = True  # force the live-line path with its math
+        sink.sweep_started("instant", 2, 1)
+        spec = tiny_job().to_dict()
+        instant = JobResult("a", spec, wall_s=0.0, compile_cache="hit")
+        sink.job_started("a")
+        sink.job_finished(instant)
+        assert sink._eta_s() is None or sink._eta_s() >= 0.0
+        rate = sink._rate_s()
+        assert rate is None or rate > 0.0
+        assert sink._cache_pct() == "100%"
+        sink.job_finished(JobResult("b", spec, wall_s=0.0,
+                                    compile_cache="hit"))
+        sink.sweep_finished(SweepResult("instant", [instant], wall_s=0.0))
+
+    def test_handbuilt_results_without_wall_clock_render(self):
+        """JobResult(wall_s=None)/SweepResult(wall_s=None) from hand-built
+        records must not crash the per-job or summary lines."""
+
+        from repro.sweep.results import JobResult, SweepResult
+
+        stream = io.StringIO()
+        sink = TTYProgress(stream=stream)
+        sink.sweep_started("manual", 1, 1)
+        job = JobResult("only", tiny_job().to_dict(), wall_s=None,
+                        compile_cache="off")
+        sink.job_finished(job)
+        sink.sweep_finished(SweepResult("manual", [job], wall_s=None))
+        text = stream.getvalue()
+        assert "only" in text
+        assert "cache n/a hit" in text  # no hits or misses seen
+
+    def test_rate_and_eta_none_before_any_completion(self):
+        sink = TTYProgress(stream=io.StringIO())
+        assert sink._rate_s() is None   # nothing finished, not started
+        assert sink._eta_s() is None    # no duration samples
+        assert sink._cache_pct() == "n/a"
+        sink.sweep_started("empty", 0, 4)
+        assert sink._rate_s() is None   # started, still nothing done
+
     def test_heartbeats_flow_while_jobs_run(self, tmp_path):
         events_path = tmp_path / "events.jsonl"
         run_sweep([tiny_job()], jobs=1, use_cache=False,

@@ -69,6 +69,27 @@ class TestJobSpec:
         assert len(set(ids)) == 3
         assert ids[0].endswith("-r0") and ids[2].endswith("-r2")
 
+    def test_shared_labels_are_rejected_not_clobbered(self):
+        # results are keyed by job id; two jobs with the same label
+        # would silently overwrite each other in every consumer
+        twins = [JobSpec(app="pi", steps=6400, label="mine"),
+                 JobSpec(app="pi", steps=12800, label="mine")]
+        with pytest.raises(ValueError, match="duplicate job ids"):
+            expand_jobs(twins)
+        with pytest.raises(ValueError, match="'mine-r0'"):
+            SweepSpec(twins).expanded()
+
+    def test_identical_specs_without_labels_are_rejected(self):
+        twin = JobSpec(app="gemm", version="naive", dim=16, threads=4)
+        with pytest.raises(ValueError, match="distinct label"):
+            expand_jobs([twin, twin])
+
+    def test_distinct_labels_disambiguate_identical_specs(self):
+        jobs = expand_jobs([
+            JobSpec(app="pi", steps=6400, label="warm"),
+            JobSpec(app="pi", steps=6400, label="cold")])
+        assert {job.job_id for job in jobs} == {"warm-r0", "cold-r0"}
+
 
 class TestSweepSpecs:
     def test_gemm_shorthand_covers_the_journey(self):
@@ -109,6 +130,20 @@ class TestSweepSpecs:
     def test_parse_rejects_bad_repeat(self):
         with pytest.raises(ValueError, match="repeat"):
             parse_spec_dict({"jobs": [{"app": "pi"}], "repeat": 0})
+
+    def test_parse_rejects_unknown_top_level_keys(self):
+        with pytest.raises(ValueError, match="unknown sweep spec fields"):
+            parse_spec_dict({"jobs": [{"app": "pi"}], "jbos": []})
+        with pytest.raises(ValueError, match="'default'"):
+            parse_spec_dict({"jobs": [{"app": "pi"}],
+                             "default": {"threads": 4}})
+
+    def test_parse_rejects_duplicate_labels_in_doc(self):
+        doc = {"jobs": [{"app": "pi", "steps": 6400, "label": "x"},
+                        {"app": "pi", "steps": 12800, "label": "x"}]}
+        spec = parse_spec_dict(doc)
+        with pytest.raises(ValueError, match="duplicate job ids"):
+            spec.expanded()
 
 
 # ----------------------------------------------------------------------
